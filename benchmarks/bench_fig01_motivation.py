@@ -1,0 +1,15 @@
+"""Figure 1 (Section II): friends vs pending requests per fake account.
+
+Synthetic substitute for the purchased-account measurement — the series
+comes from the calibrated account model (DESIGN.md, substitution 3).
+"""
+
+from repro.experiments import motivation_study
+
+
+def bench_fig01(run_once):
+    result = run_once(motivation_study)
+    assert len(result.friends) == 43
+    # The paper's headline observation: every account has a significant
+    # pending pile, between 16.7% and 67.9% of its requests.
+    assert all(0.1 < frac < 0.72 for frac in result.pending_fractions)

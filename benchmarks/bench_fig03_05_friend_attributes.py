@@ -1,0 +1,23 @@
+"""Figures 3-5 (Section II): CDFs of the purchased accounts' friends.
+
+Synthetic substitute for the crawled friend attributes (DESIGN.md,
+substitution 3): degree, wall-post, and photo activity CDFs over a
+friend population calibrated to the paper's qualitative observations —
+heavy-tailed degrees reaching past 1000 and a largely active majority.
+"""
+
+from repro.experiments import friend_attribute_study
+
+
+def bench_fig03_05(run_once):
+    result = run_once(friend_attribute_study)
+    assert result.num_friends == 2804
+    # Fig. 3's observation: some friends have degree > 1000.
+    assert result.degree_over_1000 > 20
+    # Figs. 4-5: a large portion of the friends are active.
+    assert result.active_fraction > 0.7
+    # CDFs are monotone across the thresholds.
+    for row in result.cdf_rows:
+        values = row[1:]
+        assert list(values) == sorted(values)
+        assert all(0.0 <= v <= 1.0 for v in values)

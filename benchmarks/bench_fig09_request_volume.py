@@ -1,0 +1,20 @@
+"""Figure 9: precision/recall vs requests per fake, all fakes spamming.
+
+Expected shape (paper): Rejecto stays high at every volume; VoteTrust is
+poor at low volume and improves as volume grows.
+"""
+
+from repro.experiments import SweepConfig, request_volume_sweep
+
+# The paper's stress workload is 1:1 — 10K fakes on the 10K-node
+# Facebook sample (Section VI-A) — reduced here to 800:800.
+CONFIG = SweepConfig(num_legit=800, num_fakes=800)
+
+
+def bench_fig09(run_once):
+    result = run_once(request_volume_sweep, CONFIG)
+    rejecto = result.series["Rejecto"]
+    votetrust = result.series["VoteTrust"]
+    assert min(rejecto) > 0.85
+    # VoteTrust's volume sensitivity: clearly worse at 5 than at 50.
+    assert votetrust[0] < votetrust[-1] - 0.2

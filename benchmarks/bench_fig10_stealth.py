@@ -1,0 +1,20 @@
+"""Figure 10: precision/recall vs requests per fake, half the fakes spam.
+
+Expected shape (paper): Rejecto still catches the silent half via their
+intra-region links; VoteTrust caps near 50% because its per-user vote
+aggregation never implicates non-senders.
+"""
+
+from repro.experiments import SweepConfig, stealth_sweep
+
+# The paper's stress workload is 1:1 — 10K fakes on the 10K-node
+# Facebook sample (Section VI-A) — reduced here to 800:800.
+CONFIG = SweepConfig(num_legit=800, num_fakes=800)
+
+
+def bench_fig10(run_once):
+    result = run_once(stealth_sweep, CONFIG)
+    rejecto = result.series["Rejecto"]
+    votetrust = result.series["VoteTrust"]
+    assert min(rejecto) > 0.85
+    assert max(votetrust) < 0.65

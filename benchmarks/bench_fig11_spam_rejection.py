@@ -1,0 +1,21 @@
+"""Figure 11: precision/recall vs rejection rate of spam requests.
+
+Expected shape (paper): both schemes improve with the rejection rate;
+Rejecto detects nearly all fakes once the rate passes ~60%.
+"""
+
+from repro.experiments import SweepConfig, spam_rejection_sweep
+
+# The paper's stress workload is 1:1 — 10K fakes on the 10K-node
+# Facebook sample (Section VI-A) — reduced here to 800:800.
+CONFIG = SweepConfig(num_legit=800, num_fakes=800)
+
+
+def bench_fig11(run_once):
+    result = run_once(spam_rejection_sweep, CONFIG)
+    rejecto = result.series["Rejecto"]
+    votetrust = result.series["VoteTrust"]
+    # Near-perfect from 0.6 upward (x grid starts at 0.5).
+    assert min(rejecto[2:]) > 0.95
+    # VoteTrust improves monotonically-ish with the rate.
+    assert votetrust[-1] > votetrust[0]

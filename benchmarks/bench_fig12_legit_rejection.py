@@ -1,0 +1,23 @@
+"""Figure 12: precision/recall vs rejection rate among legitimate users.
+
+Expected shape (paper): both schemes degrade as the legitimate rejection
+rate approaches the spam rate (0.7), where the two populations become
+statistically indistinguishable.
+"""
+
+from repro.experiments import SweepConfig, legit_rejection_sweep
+
+# The paper's stress workload is 1:1 — 10K fakes on the 10K-node
+# Facebook sample (Section VI-A) — reduced here to 800:800.
+CONFIG = SweepConfig(num_legit=800, num_fakes=800)
+
+
+def bench_fig12(run_once):
+    result = run_once(legit_rejection_sweep, CONFIG)
+    rejecto = result.series["Rejecto"]
+    votetrust = result.series["VoteTrust"]
+    # High while legit users reject far less than spammers...
+    assert min(rejecto[:4]) > 0.9
+    # ...and collapsed by rate 0.8, past the 0.7 convergence point.
+    assert rejecto[-2] < 0.3
+    assert votetrust[-2] < 0.3

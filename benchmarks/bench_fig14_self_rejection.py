@@ -1,0 +1,22 @@
+"""Figure 14: resilience to the self-rejection whitewashing strategy.
+
+Expected shape (paper): Rejecto stays high — extra rejections among
+fakes only expose the rejected half earlier; the strategy is outright
+counterproductive against VoteTrust (its accuracy does not degrade).
+"""
+
+from repro.experiments import SweepConfig, self_rejection_sweep
+
+# The paper's stress workload is 1:1 — 10K fakes on the 10K-node
+# Facebook sample (Section VI-A) — reduced here to 800:800.
+CONFIG = SweepConfig(num_legit=800, num_fakes=800)
+
+
+def bench_fig14(run_once):
+    result = run_once(self_rejection_sweep, CONFIG)
+    rejecto = result.series["Rejecto"]
+    votetrust = result.series["VoteTrust"]
+    assert min(rejecto) > 0.85
+    # Counterproductive against VoteTrust: no degradation as the
+    # self-rejection rate rises.
+    assert votetrust[-1] >= votetrust[0] - 0.02

@@ -1,0 +1,27 @@
+"""Figure 15: Sybils rejecting legitimate users' requests.
+
+Expected shape (paper): Rejecto tolerates planted rejections until their
+volume nears the legitimate users' own rejection level (~14 per fake =
+20 requests x 0.7), then drops abruptly; VoteTrust decreases almost
+linearly from the start.
+"""
+
+from repro.experiments import SweepConfig, legit_victim_rejection_sweep
+
+# The paper's stress workload is 1:1 — 10K fakes on the 10K-node
+# Facebook sample (Section VI-A) — reduced here to 800:800.
+CONFIG = SweepConfig(num_legit=800, num_fakes=800)
+
+
+def bench_fig15(run_once):
+    result = run_once(legit_victim_rejection_sweep, CONFIG)
+    rejecto = result.series["Rejecto"]
+    votetrust = result.series["VoteTrust"]
+    # Flat and high through 12.8 rejections per fake (index 8)...
+    assert min(rejecto[:9]) > 0.85
+    # ...with the cliff at/after ~14.4 (the legitimate-rejection level);
+    # seeds keep the post-cliff floor above the paper's seedless zero.
+    assert rejecto[-1] < 0.6
+    assert rejecto[-1] < min(rejecto[:9]) - 0.3
+    # VoteTrust decays roughly monotonically across the sweep.
+    assert votetrust[-1] < votetrust[0] - 0.5

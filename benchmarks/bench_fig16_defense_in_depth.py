@@ -1,0 +1,21 @@
+"""Figure 16: defense in depth — SybilRank AUC vs Rejecto removals.
+
+Expected shape (paper): the AUC of SybilRank's Sybil/legitimate ranking
+climbs toward 1 as Rejecto removes more friend spammers (and their
+attack edges). The paper plots the Facebook sample and ca-AstroPh; both
+stand-ins are regenerated here.
+"""
+
+import pytest
+
+from repro.experiments import DefenseInDepthConfig, defense_in_depth
+
+
+@pytest.mark.parametrize("dataset", ["facebook", "ca-AstroPh"])
+def bench_fig16(run_once, dataset):
+    config = DefenseInDepthConfig(dataset=dataset, num_legit=1000)
+    result = run_once(defense_in_depth, config)
+    assert result.auc_values[-1] > result.auc_values[0]
+    assert result.auc_values[-1] > 0.9
+    # Rejecto's removals are (almost) all true fakes.
+    assert result.removed_fakes[-1] > 0.95 * result.removal_budgets[-1]

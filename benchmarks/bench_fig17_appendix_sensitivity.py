@@ -1,0 +1,35 @@
+"""Figure 17 (Appendix A): sensitivity sweeps on the other six graphs.
+
+Repeats the Fig. 9-12 sweeps (request volume all/half, spam rejection
+rate, legitimate rejection rate) on ca-HepTh, ca-AstroPh, email-Enron,
+soc-Epinions, soc-Slashdot, and the synthetic BA graph. Expected shape
+(paper): the same trends as on the Facebook sample, on every graph.
+"""
+
+from repro.experiments import SweepConfig, appendix_sensitivity
+
+# 1:1 fake:legit proportions, as in the paper's stress setup.
+CONFIG = SweepConfig(num_legit=600, num_fakes=600)
+
+
+def bench_fig17(run_once):
+    class Rendered:
+        def __init__(self, results):
+            self.results = results
+
+        def render(self):
+            blocks = []
+            for dataset, sweeps in self.results.items():
+                for sweep in sweeps:
+                    blocks.append(f"[{dataset}]\n{sweep.render()}")
+            return "\n\n".join(blocks)
+
+    rendered = run_once(
+        lambda: Rendered(appendix_sensitivity(CONFIG, points=3))
+    )
+    results = rendered.results
+    assert len(results) == 6
+    for dataset, sweeps in results.items():
+        assert len(sweeps) == 4
+        for sweep in sweeps[:2]:  # both request-volume sweeps
+            assert min(sweep.series["Rejecto"]) > 0.75, (dataset, sweep.figure)

@@ -1,0 +1,35 @@
+"""Figure 18 (Appendix B): attack-strategy sweeps on the other six graphs.
+
+Repeats the Fig. 13-15 sweeps (collusion, self-rejection, rejecting
+legitimate requests) on the six non-Facebook Table I graphs. Expected
+shape (paper): Rejecto resilient everywhere; VoteTrust's weaknesses
+reappear on every graph.
+"""
+
+from repro.experiments import SweepConfig, appendix_strategies
+
+# 1:1 fake:legit proportions, as in the paper's stress setup.
+CONFIG = SweepConfig(num_legit=600, num_fakes=600)
+
+
+def bench_fig18(run_once):
+    class Rendered:
+        def __init__(self, results):
+            self.results = results
+
+        def render(self):
+            blocks = []
+            for dataset, sweeps in self.results.items():
+                for sweep in sweeps:
+                    blocks.append(f"[{dataset}]\n{sweep.render()}")
+            return "\n\n".join(blocks)
+
+    rendered = run_once(
+        lambda: Rendered(appendix_strategies(CONFIG, points=3))
+    )
+    results = rendered.results
+    assert len(results) == 6
+    for dataset, sweeps in results.items():
+        assert len(sweeps) == 3
+        collusion = sweeps[0]
+        assert min(collusion.series["Rejecto"]) > 0.75, dataset

@@ -1,0 +1,17 @@
+"""Table I: dataset statistics of the seven stand-in social graphs.
+
+Regenerates every catalog graph (reduced scale by default — pass the
+full 1.0 through ``datasets_table`` for paper-size graphs) and prints
+measured nodes/edges/clustering/diameter next to the published row.
+"""
+
+from repro.experiments import datasets_table
+
+
+def bench_table1(run_once):
+    result = run_once(datasets_table, scale=0.2)
+    assert len(result.rows) == 7
+    by_name = {row.name: row for row in result.rows}
+    # The stand-ins must preserve Table I's clustering ordering.
+    assert by_name["facebook"].clustering > by_name["email-Enron"].clustering
+    assert by_name["email-Enron"].clustering > by_name["synthetic"].clustering

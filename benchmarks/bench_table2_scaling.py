@@ -1,0 +1,23 @@
+"""Table II: execution time vs input graph size on the mini-cluster.
+
+Expected shape (paper): near-linear runtime growth with graph size,
+"provided that the volume of the aggregate memory in the cluster
+suffices" — here, provided the single process holds the partitions. The
+per-edge cost column makes the linearity visible directly; simulated
+network traffic is reported alongside.
+"""
+
+from repro.experiments import ScalingConfig, scaling_study
+
+CONFIG = ScalingConfig(user_counts=(1000, 2000, 4000, 8000))
+
+
+def bench_table2(run_once):
+    result = run_once(scaling_study, CONFIG)
+    edges = [row.edges for row in result.rows]
+    times = [row.wall_seconds for row in result.rows]
+    assert edges == sorted(edges)
+    assert times[-1] > times[0]
+    # Near-linear: per-edge cost varies by far less than the 8x size span.
+    per_edge = [row.microseconds_per_edge for row in result.rows]
+    assert max(per_edge) < 6 * min(per_edge)

@@ -1,0 +1,36 @@
+"""Shared helpers for the benchmark harness.
+
+Each ``bench_*`` module regenerates one of the paper's tables or figures
+(see DESIGN.md's per-experiment index). Benchmarks run the full
+experiment exactly once (``pedantic`` with one round — these are
+minutes-scale experiments, not microbenchmarks) and print the resulting
+rows/series so that::
+
+    pytest benchmarks/ --benchmark-only -s
+
+reproduces the paper's evaluation outputs alongside the timings.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run an experiment once under pytest-benchmark and print it.
+
+    The callable must return an object with a ``render()`` method or a
+    plain string.
+    """
+
+    def runner(experiment, *args, **kwargs):
+        result = benchmark.pedantic(
+            experiment, args=args, kwargs=kwargs, rounds=1, iterations=1
+        )
+        text = result.render() if hasattr(result, "render") else str(result)
+        print()
+        print(text)
+        return result
+
+    return runner

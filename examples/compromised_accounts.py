@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Detecting compromised accounts with time-sharded Rejecto (Section VII).
+
+The paper's discussion proposes applying Rejecto beyond purchased fakes:
+"the OSN provider can shard friend requests and rejections according to
+the time intervals in which they have occurred, and then run Rejecto on
+an augmented graph constructed from the sharded requests and rejections
+in each interval. This enables Rejecto to detect compromised accounts in
+post-compromise intervals."
+
+This example drives the library's sharded-deployment API end to end:
+long-standing *legitimate* accounts are hijacked on day 2 of a 5-day
+window and start spamming; per-day detection with the paper's
+acceptance-rate-threshold termination flags nothing before the
+compromise, catches the hijacked accounts on the day it happens, and
+``first_flagged`` pinpoints the compromise time.
+
+Run:  python examples/compromised_accounts.py
+"""
+
+import random
+
+from repro.attacks import CompromiseEvent, TimelineConfig, simulate_timeline
+from repro.core import MAARConfig, RejectoConfig, detect_over_shards
+from repro.graphgen import powerlaw_cluster
+from repro.metrics import precision_recall
+
+
+def main() -> None:
+    rng = random.Random(5)
+    num_users, num_hijacked, compromise_day = 1200, 60, 2
+
+    base = powerlaw_cluster(num_users, 4.0, 0.68, rng)
+    hijacked = sorted(rng.sample(range(num_users), num_hijacked))
+    timeline = simulate_timeline(
+        base,
+        [CompromiseEvent(account, compromise_day) for account in hijacked],
+        TimelineConfig(num_days=5, spam_daily_requests=20),
+        rng,
+    )
+
+    # Threshold termination (§IV-E): stop cutting once the best residual
+    # cut's acceptance rate looks like normal users' (~0.8 here); 0.6
+    # leaves a wide margin above the spam cut's rate.
+    config = RejectoConfig(
+        maar=MAARConfig(),
+        estimated_spammers=num_hijacked,
+        acceptance_threshold=0.6,
+    )
+    result = detect_over_shards(timeline.daily_shards(), config)
+
+    print(f"{num_users} users; {num_hijacked} hijacked on day {compromise_day}\n")
+    hijacked_set = set(hijacked)
+    for day in range(timeline.num_days):
+        flagged = result.flagged(day)
+        newly = result.newly_flagged(day)
+        metrics = precision_recall(flagged, hijacked_set) if flagged else None
+        precision = f"{metrics.precision:.2f}" if metrics else "  - "
+        print(
+            f"  day {day}: flagged {len(flagged):3d} "
+            f"(new: {len(newly):3d}, precision {precision})"
+        )
+
+    onset = result.newly_flagged(compromise_day)
+    caught = len(onset & hijacked_set)
+    print(
+        f"\n{caught}/{num_hijacked} hijacked accounts first flagged exactly on "
+        f"day {compromise_day} — the sharded deployment both catches the\n"
+        f"compromise the day it happens and timestamps it; the quiet days\n"
+        f"produce zero flags because the threshold refuses cuts that look\n"
+        f"like normal users."
+    )
+
+
+if __name__ == "__main__":
+    main()

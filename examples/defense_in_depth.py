@@ -1,0 +1,48 @@
+#!/usr/bin/env python
+"""Defense in depth: Rejecto + SybilRank (Sections II-C and VI-D).
+
+Rejecto removes the fake accounts that *send* friend spam — exactly the
+accounts whose attack edges blind social-graph-based Sybil detectors.
+This example composes the two systems: it measures SybilRank's ranking
+quality (AUC) on a community-structured OSN before and after Rejecto
+prunes increasing numbers of friend spammers, reproducing Figure 16's
+climb toward a perfect ranking.
+
+Run:  python examples/defense_in_depth.py
+"""
+
+from repro.experiments import DefenseInDepthConfig, defense_in_depth
+from repro.experiments.tables import format_table
+
+
+def main() -> None:
+    config = DefenseInDepthConfig(
+        num_legit=1000,          # Sybil region matches it 1:1, half spamming
+        removal_fractions=(0.0, 0.1, 0.2, 0.3, 0.4, 0.5),
+        num_trusted_seeds=10,    # community-based seed selection (§IV-F)
+    )
+    result = defense_in_depth(config)
+
+    rows = [
+        [budget, fakes, auc]
+        for budget, fakes, auc in zip(
+            result.removal_budgets, result.removed_fakes, result.auc_values
+        )
+    ]
+    print(
+        format_table(
+            ["#removed by Rejecto", "of which fake", "SybilRank AUC"],
+            rows,
+            title=f"Defense in depth on {result.dataset} (Fig. 16)",
+        )
+    )
+    print(
+        "\nEvery pruned spammer takes its attack edges with it; once the\n"
+        "spamming half is gone, the remaining (silent) Sybils are nearly\n"
+        "disconnected from the legitimate region and SybilRank ranks them\n"
+        "to the bottom — the AUC approaches 1."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""The paper's full-scale baseline: 10K-node Facebook sample + 10K fakes.
+
+Every other example runs laptop-scale reductions; this one reproduces
+the paper's exact stress configuration (Section VI-A) at full size —
+10,000 legitimate users on the Facebook stand-in graph, 10,000 fakes
+each wiring 6 intra-region links and sending 20 requests at a 70%
+rejection rate, 20% legitimate rejections, 15% careless users — and runs
+one full Rejecto detection plus the VoteTrust comparison on it.
+
+Expect a few minutes of pure-Python runtime (printed per stage).
+
+Run:  python examples/paper_scale.py
+"""
+
+import time
+
+from repro.attacks import ScenarioConfig, build_scenario
+from repro.baselines import VoteTrust
+from repro.core import MAARConfig, Rejecto, RejectoConfig
+
+
+def timed(label, fn):
+    start = time.perf_counter()
+    result = fn()
+    print(f"  [{label}: {time.perf_counter() - start:.1f}s]")
+    return result
+
+
+def main() -> None:
+    print("building the paper-scale workload (10,000 + 10,000 users)...")
+    scenario = timed(
+        "build",
+        lambda: build_scenario(
+            ScenarioConfig(num_legit=10_000, num_fakes=10_000, seed=7)
+        ),
+    )
+    print(
+        f"graph: {scenario.graph} / "
+        f"{scenario.spam_stats.requests} spam requests at "
+        f"{scenario.spam_stats.rejection_rate:.0%} rejection"
+    )
+
+    legit_seeds, _ = scenario.sample_seeds(100, 0)
+    declared = len(scenario.fakes)
+
+    result = timed(
+        "Rejecto",
+        lambda: Rejecto(
+            RejectoConfig(
+                maar=MAARConfig(), estimated_spammers=declared
+            )
+        ).detect(scenario.graph, legit_seeds=legit_seeds),
+    )
+    rejecto_metrics = scenario.precision_recall(result.detected(limit=declared))
+    print(
+        f"Rejecto:   precision/recall {rejecto_metrics.precision:.3f} "
+        f"({result.rounds_run} rounds)"
+    )
+
+    votetrust = timed(
+        "VoteTrust",
+        lambda: VoteTrust().detect(
+            scenario.num_nodes, scenario.request_log, legit_seeds[:20], declared
+        ),
+    )
+    vt_metrics = scenario.precision_recall(votetrust)
+    print(f"VoteTrust: precision/recall {vt_metrics.precision:.3f}")
+    print(
+        "\nThe paper's Fig. 9 at 20 requests/fake reports Rejecto ≈ 1.0 and "
+        "VoteTrust ≈ 0.87;\nthe shapes should match at this, the paper's own, "
+        "scale."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,27 @@
+"""Setuptools entry point.
+
+A classic ``setup.py`` is used (rather than PEP 517/660 metadata alone)
+so that ``pip install -e .`` works in fully offline environments that
+lack the ``wheel`` package required by modern editable builds.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Rejecto: combating friend spam using social rejections "
+        "(ICDCS 2015 reproduction)"
+    ),
+    author="Rejecto reproduction authors",
+    license="MIT",
+    python_requires=">=3.9",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    install_requires=["numpy"],
+    extras_require={
+        "dev": ["pytest", "pytest-benchmark", "hypothesis", "networkx", "scipy"],
+    },
+    entry_points={"console_scripts": ["rejecto = repro.cli:main"]},
+)

@@ -1,0 +1,70 @@
+"""Attack and workload simulation (Sections II, VI-A, VI-B, VI-C).
+
+Builds the paper's evaluation workloads: Sybil-region injection, friend
+spam with social rejections, careless users, legitimate-user rejections,
+the collusion / self-rejection / stealth / reject-legitimate strategies,
+and the Section II purchased-account model. :func:`build_scenario`
+composes them into one reproducible instance.
+"""
+
+from .accounts import (
+    AccountModelConfig,
+    FriendProfile,
+    FriendProfileModelConfig,
+    PurchasedAccount,
+    sample_friend_profiles,
+    sample_purchased_accounts,
+)
+from .requests import FriendRequest, RequestLog
+from .scenario import Scenario, ScenarioConfig, build_scenario
+from .spam import (
+    SpamStats,
+    add_careless_requests,
+    send_friend_spam,
+    simulate_legitimate_rejections,
+)
+from .strategies import (
+    add_collusion_edges,
+    apply_self_rejection,
+    pick_stealth_senders,
+    reject_legitimate_requests,
+)
+from .sybil import SybilRegionConfig, inject_sybil_region
+from .timeline import (
+    CompromiseEvent,
+    RecoveryEvent,
+    TimedRequest,
+    Timeline,
+    TimelineConfig,
+    simulate_timeline,
+)
+
+__all__ = [
+    "FriendRequest",
+    "RequestLog",
+    "Scenario",
+    "ScenarioConfig",
+    "build_scenario",
+    "SybilRegionConfig",
+    "inject_sybil_region",
+    "SpamStats",
+    "send_friend_spam",
+    "simulate_legitimate_rejections",
+    "add_careless_requests",
+    "add_collusion_edges",
+    "apply_self_rejection",
+    "pick_stealth_senders",
+    "reject_legitimate_requests",
+    "AccountModelConfig",
+    "PurchasedAccount",
+    "sample_purchased_accounts",
+    "FriendProfile",
+    "FriendProfileModelConfig",
+    "sample_friend_profiles",
+    "TimedRequest",
+    "CompromiseEvent",
+    "RecoveryEvent",
+    "TimelineConfig",
+    "Timeline",
+    "simulate_timeline",
+]

@@ -1,0 +1,199 @@
+"""Generative model of purchased fake accounts (Section II).
+
+The paper's motivation study examined 43 purchased Facebook accounts —
+each at least a year old, with "more than 50 real US friends" — and
+found that *every* one carried a significant pile of pending (ignored or
+rejected) friend requests: the pending fraction ranged from 16.7% to
+67.9% (Figure 1; 2804 friends and 2065 pending requests in total).
+
+Purchased accounts are obviously not reproducible offline, so this
+module provides a calibrated generative stand-in (DESIGN.md,
+substitution 3): it samples per-account friend counts and pending
+fractions consistent with the reported aggregates, for the Figure-1
+benchmark and for seeding synthetic studies.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import List, Optional
+
+__all__ = [
+    "PurchasedAccount",
+    "AccountModelConfig",
+    "sample_purchased_accounts",
+    "FriendProfile",
+    "FriendProfileModelConfig",
+    "sample_friend_profiles",
+]
+
+
+@dataclass(frozen=True)
+class PurchasedAccount:
+    """One synthetic purchased fake account."""
+
+    friends: int
+    pending_requests: int
+
+    @property
+    def pending_fraction(self) -> float:
+        total = self.friends + self.pending_requests
+        return self.pending_requests / total if total else 0.0
+
+
+@dataclass(frozen=True)
+class AccountModelConfig:
+    """Calibration of the purchased-account model.
+
+    Defaults reproduce the paper's aggregates: 43 accounts averaging
+    ~65 friends each (lognormal, minimum 50 as the purchase required),
+    with pending fractions uniform over the observed [0.167, 0.679]
+    range.
+    """
+
+    num_accounts: int = 43
+    min_friends: int = 50
+    mean_friends: float = 65.0
+    friends_sigma: float = 0.35
+    min_pending_fraction: float = 0.167
+    max_pending_fraction: float = 0.679
+
+
+def sample_purchased_accounts(
+    config: Optional[AccountModelConfig] = None,
+    rng: Optional[random.Random] = None,
+) -> List[PurchasedAccount]:
+    """Sample a batch of synthetic purchased accounts.
+
+    Friend counts are lognormal (clipped below at ``min_friends``);
+    pending fractions are uniform over the configured range; the pending
+    count is derived from the fraction:
+    ``pending = friends · f / (1 − f)``.
+    """
+    config = config or AccountModelConfig()
+    if config.num_accounts < 1:
+        raise ValueError(f"num_accounts must be >= 1, got {config.num_accounts}")
+    if not 0 <= config.min_pending_fraction <= config.max_pending_fraction < 1:
+        raise ValueError("pending fractions must satisfy 0 <= min <= max < 1")
+    rng = rng or random.Random(0)
+    mu = math.log(config.mean_friends) - config.friends_sigma**2 / 2
+    accounts = []
+    for _ in range(config.num_accounts):
+        friends = max(
+            config.min_friends, int(round(rng.lognormvariate(mu, config.friends_sigma)))
+        )
+        fraction = rng.uniform(
+            config.min_pending_fraction, config.max_pending_fraction
+        )
+        pending = int(round(friends * fraction / (1.0 - fraction)))
+        accounts.append(PurchasedAccount(friends=friends, pending_requests=pending))
+    return accounts
+
+
+@dataclass(frozen=True)
+class FriendProfile:
+    """Observed attributes of one friend of a purchased account.
+
+    The paper's Figures 3-5 plot CDFs of these attributes over the 2804
+    friends of the purchased accounts: social-graph degree, wall posts
+    (plus the comments and likes they received), and uploaded photos
+    (plus their comments and likes).
+    """
+
+    degree: int
+    posts: int
+    post_comments: int
+    post_likes: int
+    photos: int
+    photo_comments: int
+    photo_likes: int
+
+
+@dataclass(frozen=True)
+class FriendProfileModelConfig:
+    """Calibration of the friend-attribute model (Figures 3-5).
+
+    Degrees are lognormal with a heavy tail — the paper observes both
+    ordinary users and accounts with degree over 1000 ("either careless
+    Facebook users or abusive fake accounts"). Activity counts are
+    lognormal around modest medians with an ``inactive_fraction`` of
+    friends showing no activity at all; comments and likes scale with
+    the underlying posts/photos, matching the observation that "a large
+    portion of the friend users ... are quite active".
+    """
+
+    median_degree: float = 180.0
+    degree_sigma: float = 1.1
+    max_degree: int = 5000
+    inactive_fraction: float = 0.15
+    median_posts: float = 25.0
+    posts_sigma: float = 1.2
+    median_photos: float = 15.0
+    photos_sigma: float = 1.3
+    comments_per_item: float = 0.8
+    likes_per_item: float = 1.5
+
+
+def sample_friend_profiles(
+    count: int,
+    config: Optional[FriendProfileModelConfig] = None,
+    rng: Optional[random.Random] = None,
+) -> List[FriendProfile]:
+    """Sample the friends-of-purchased-accounts population (Figs. 3-5)."""
+    if count < 1:
+        raise ValueError(f"count must be >= 1, got {count}")
+    config = config or FriendProfileModelConfig()
+    rng = rng or random.Random(0)
+
+    def lognormal_count(median: float, sigma: float) -> int:
+        return int(round(rng.lognormvariate(math.log(median), sigma)))
+
+    profiles = []
+    for _ in range(count):
+        degree = min(
+            config.max_degree, max(1, lognormal_count(config.median_degree, config.degree_sigma))
+        )
+        if rng.random() < config.inactive_fraction:
+            posts = photos = 0
+        else:
+            posts = lognormal_count(config.median_posts, config.posts_sigma)
+            photos = lognormal_count(config.median_photos, config.photos_sigma)
+        post_comments = sum(
+            _poisson(rng, config.comments_per_item) for _ in range(posts)
+        )
+        post_likes = sum(
+            _poisson(rng, config.likes_per_item) for _ in range(posts)
+        )
+        photo_comments = sum(
+            _poisson(rng, config.comments_per_item) for _ in range(photos)
+        )
+        photo_likes = sum(
+            _poisson(rng, config.likes_per_item) for _ in range(photos)
+        )
+        profiles.append(
+            FriendProfile(
+                degree=degree,
+                posts=posts,
+                post_comments=post_comments,
+                post_likes=post_likes,
+                photos=photos,
+                photo_comments=photo_comments,
+                photo_likes=photo_likes,
+            )
+        )
+    return profiles
+
+
+def _poisson(rng: random.Random, mean: float) -> int:
+    """Knuth's Poisson sampler (means here are small)."""
+    if mean <= 0:
+        return 0
+    limit = math.exp(-mean)
+    count = 0
+    product = rng.random()
+    while product > limit:
+        count += 1
+        product *= rng.random()
+    return count

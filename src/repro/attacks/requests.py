@@ -1,0 +1,101 @@
+"""The directed friend-request log.
+
+The augmented social graph keeps only the *outcome* of requests
+(friendships and rejections); the direction of accepted requests is
+erased by the undirected friendship edge. VoteTrust [35], however, ranks
+users on the *directed friend-request graph*, so the simulators record
+every request — sender, target, and response — into a
+:class:`RequestLog` that the scenario builder exposes alongside the
+graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+__all__ = ["FriendRequest", "RequestLog"]
+
+
+@dataclass(frozen=True)
+class FriendRequest:
+    """One friend request and its response."""
+
+    sender: int
+    target: int
+    accepted: bool
+
+
+class RequestLog:
+    """Append-only log of friend requests.
+
+    Duplicate (sender, target) pairs are kept: a user may re-request
+    after a rejection, and VoteTrust's vote aggregation weighs each
+    response.
+    """
+
+    __slots__ = ("requests",)
+
+    def __init__(self) -> None:
+        self.requests: List[FriendRequest] = []
+
+    def record(self, sender: int, target: int, accepted: bool) -> None:
+        """Append one request outcome."""
+        self.requests.append(FriendRequest(sender, target, accepted))
+
+    def __len__(self) -> int:
+        return len(self.requests)
+
+    def __iter__(self) -> Iterator[FriendRequest]:
+        return iter(self.requests)
+
+    @property
+    def num_accepted(self) -> int:
+        return sum(1 for r in self.requests if r.accepted)
+
+    @property
+    def num_rejected(self) -> int:
+        return len(self.requests) - self.num_accepted
+
+    def out_requests(self) -> Dict[int, List[FriendRequest]]:
+        """Requests grouped by sender."""
+        grouped: Dict[int, List[FriendRequest]] = {}
+        for request in self.requests:
+            grouped.setdefault(request.sender, []).append(request)
+        return grouped
+
+    def edge_counts(self) -> Dict[Tuple[int, int], Tuple[int, int]]:
+        """Per (sender, target) pair: (accepted_count, rejected_count)."""
+        counts: Dict[Tuple[int, int], Tuple[int, int]] = {}
+        for request in self.requests:
+            accepted, rejected = counts.get((request.sender, request.target), (0, 0))
+            if request.accepted:
+                accepted += 1
+            else:
+                rejected += 1
+            counts[(request.sender, request.target)] = (accepted, rejected)
+        return counts
+
+    def to_augmented_graph(self, num_users: Optional[int] = None):
+        """Materialize the rejection-augmented graph the log implies.
+
+        Accepted requests become friendships; rejected requests become
+        rejection edges ``⟨target, sender⟩``. This is the operator
+        pipeline's entry point: a logged request stream (e.g. loaded via
+        :func:`repro.io.load_request_log`) in, a detectable graph out.
+
+        ``num_users`` defaults to ``max id + 1`` over the log.
+        """
+        from ..core.graph import AugmentedSocialGraph
+
+        if num_users is None:
+            num_users = 1 + max(
+                (max(r.sender, r.target) for r in self.requests), default=-1
+            )
+        graph = AugmentedSocialGraph(num_users)
+        for request in self.requests:
+            if request.accepted:
+                graph.add_friendship(request.sender, request.target)
+            else:
+                graph.add_rejection(request.target, request.sender)
+        return graph

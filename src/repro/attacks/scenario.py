@@ -1,0 +1,235 @@
+"""Composable end-to-end attack scenarios.
+
+:func:`build_scenario` assembles the paper's full simulation setup
+(Section VI-A) — legitimate region, injected Sybil region, friend spam,
+legitimate rejections, careless users, and any strategic behaviours —
+into a single :class:`Scenario` carrying the augmented graph and the
+ground truth. Every figure's experiment is one
+:class:`ScenarioConfig` away from the baseline.
+
+Paper-scale defaults (10K fakes on the 10K-node Facebook sample) are
+reachable by setting ``num_legit``/``num_fakes`` accordingly; the
+defaults here are laptop-scale (2000 + 400) so sweeps over many
+configurations finish in minutes.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, replace
+from typing import List, Optional, Sequence
+
+from ..core.graph import AugmentedSocialGraph
+from ..graphgen.datasets import generate_dataset
+from ..metrics.detection import DetectionMetrics, precision_recall
+from .requests import RequestLog
+from .spam import (
+    SpamStats,
+    add_careless_requests,
+    send_friend_spam,
+    simulate_legitimate_rejections,
+)
+from .strategies import (
+    add_collusion_edges,
+    apply_self_rejection,
+    pick_stealth_senders,
+    reject_legitimate_requests,
+)
+from .sybil import SybilRegionConfig, inject_sybil_region
+
+__all__ = ["ScenarioConfig", "Scenario", "build_scenario"]
+
+
+@dataclass(frozen=True)
+class ScenarioConfig:
+    """Every knob of the paper's simulation setup.
+
+    The defaults reproduce the baseline attack of Section VI-A at
+    reduced scale: all fakes send 20 requests each, 70% rejected; the
+    legitimate rejection rate is 20%; 15% of legitimate users are
+    careless; each fake arrives with 6 intra-region links.
+    """
+
+    # Legitimate region.
+    dataset: str = "facebook"
+    scale: Optional[float] = None  # node-count scale of the dataset
+    num_legit: Optional[int] = 2000  # overrides scale when set
+    # Sybil region.
+    num_fakes: int = 400
+    intra_links_per_fake: int = 6
+    attachment: str = "random"
+    # Baseline friend spam.
+    requests_per_fake: int = 20
+    spam_rejection_rate: float = 0.7
+    spam_sender_fraction: float = 1.0  # Fig. 10 stealth: 0.5
+    spam_targeting: str = "random"  # or "high_degree": farm popular users
+    # Legitimate behaviour.
+    legit_rejection_rate: float = 0.2
+    careless_fraction: float = 0.15
+    # Collusion (Fig. 13): extra accepted intra-fake requests per fake.
+    collusion_extra_links: int = 0
+    # Self-rejection (Fig. 14).
+    self_rejection_rate: Optional[float] = None
+    whitewashed_fraction: float = 0.5
+    self_rejection_requests: int = 20
+    # Sybils rejecting legitimate requests (Fig. 15).
+    rejections_on_legit: int = 0
+    # Reproducibility.
+    seed: int = 7
+
+    def with_overrides(self, **changes) -> "ScenarioConfig":
+        """A copy of this config with the given fields replaced."""
+        return replace(self, **changes)
+
+
+@dataclass
+class Scenario:
+    """A built attack instance: augmented graph plus ground truth."""
+
+    graph: AugmentedSocialGraph
+    legit: List[int]
+    fakes: List[int]
+    spammers: List[int]  # the fakes that actually sent friend spam
+    whitewashed: List[int]  # fakes on the receiving side of self-rejection
+    careless: List[int]
+    config: ScenarioConfig
+    spam_stats: SpamStats
+    legit_rejections_added: int
+    request_log: RequestLog
+
+    @property
+    def num_nodes(self) -> int:
+        return self.graph.num_nodes
+
+    def precision_recall(self, detected: Sequence[int]) -> DetectionMetrics:
+        """Score a detected set against this scenario's fakes."""
+        return precision_recall(detected, self.fakes)
+
+    def sample_seeds(
+        self, num_legit_seeds: int, num_spammer_seeds: int, seed: int = 0
+    ) -> tuple:
+        """Uniformly sampled known-label seeds (Section IV-F)."""
+        rng = random.Random(seed)
+        legit_seeds = rng.sample(self.legit, min(num_legit_seeds, len(self.legit)))
+        spam_pool = self.spammers or self.fakes
+        spammer_seeds = rng.sample(
+            spam_pool, min(num_spammer_seeds, len(spam_pool))
+        )
+        return legit_seeds, spammer_seeds
+
+
+def build_scenario(
+    config: ScenarioConfig,
+    base_graph: Optional[AugmentedSocialGraph] = None,
+) -> Scenario:
+    """Assemble a full attack scenario.
+
+    Parameters
+    ----------
+    config:
+        The scenario parameters.
+    base_graph:
+        Optional pre-built legitimate friendship graph (e.g. a real SNAP
+        dataset); when omitted, the configured catalog dataset is
+        generated. The graph is copied, never mutated.
+
+    Construction order matches the paper: legitimate region → legitimate
+    rejections → Sybil region (6 intra links each) → collusion edges →
+    spam wave (all or a stealth fraction of fakes) → careless users →
+    self-rejection wave → rejections of legitimate requests.
+    """
+    rng = random.Random(config.seed)
+    log = RequestLog()
+    if base_graph is not None:
+        graph = base_graph.copy()
+    else:
+        spec_scale = config.scale
+        if config.num_legit is not None:
+            from ..graphgen.datasets import CATALOG
+
+            spec_scale = config.num_legit / CATALOG[config.dataset].paper_nodes
+        graph = generate_dataset(
+            config.dataset, scale=min(spec_scale or 1.0, 1.0), seed=config.seed
+        )
+    legit = list(range(graph.num_nodes))
+
+    # Base friendships came from accepted requests whose direction the
+    # undirected graph erased; synthesize a uniform direction for the log.
+    for u, v in graph.friendships():
+        if rng.random() < 0.5:
+            log.record(u, v, True)
+        else:
+            log.record(v, u, True)
+
+    legit_rejections = simulate_legitimate_rejections(
+        graph, legit, config.legit_rejection_rate, rng, log=log
+    )
+
+    edges_before_fakes = set(graph.friendships())
+    fakes = inject_sybil_region(
+        graph,
+        SybilRegionConfig(
+            num_fakes=config.num_fakes,
+            intra_links_per_fake=config.intra_links_per_fake,
+            attachment=config.attachment,
+        ),
+        rng,
+    )
+
+    if config.collusion_extra_links:
+        add_collusion_edges(graph, fakes, config.collusion_extra_links, rng)
+
+    # Intra-fake links are mutually accepted requests; log the arrival
+    # direction (later id sent the request, matching the injection order).
+    for u, v in graph.friendships():
+        if (u, v) not in edges_before_fakes:
+            log.record(max(u, v), min(u, v), True)
+
+    spammers = pick_stealth_senders(fakes, config.spam_sender_fraction, rng)
+    spam_stats = send_friend_spam(
+        graph,
+        spammers,
+        legit,
+        config.requests_per_fake,
+        config.spam_rejection_rate,
+        rng,
+        log=log,
+        targeting=config.spam_targeting,
+    )
+
+    careless = add_careless_requests(
+        graph, legit, fakes, config.careless_fraction, rng, log=log
+    )
+
+    whitewashed: List[int] = []
+    if config.self_rejection_rate is not None:
+        split = int(round(len(fakes) * config.whitewashed_fraction))
+        whitewashed = fakes[:split]
+        senders = fakes[split:]
+        apply_self_rejection(
+            graph,
+            senders,
+            whitewashed,
+            min(config.self_rejection_requests, len(whitewashed)),
+            config.self_rejection_rate,
+            rng,
+            log=log,
+        )
+
+    if config.rejections_on_legit:
+        reject_legitimate_requests(
+            graph, fakes, legit, config.rejections_on_legit, rng, log=log
+        )
+
+    return Scenario(
+        graph=graph,
+        legit=legit,
+        fakes=fakes,
+        spammers=spammers,
+        whitewashed=whitewashed,
+        careless=careless,
+        config=config,
+        spam_stats=spam_stats,
+        legit_rejections_added=legit_rejections,
+        request_log=log,
+    )

@@ -1,0 +1,218 @@
+"""Friend-spam and rejection simulation.
+
+Implements the paper's workload (Section VI-A):
+
+* each (spamming) fake account sends ``requests_per_fake`` friend
+  requests to random legitimate users; a ``spam_rejection_rate`` fraction
+  are rejected (→ directed rejection edges from the targets) and the rest
+  accepted (→ attack friendship edges);
+* a fraction of *careless* legitimate users (15% in the paper) each send
+  one friend request into the fake region, which is accepted;
+* legitimate-to-legitimate rejections: a user with ``d`` friends accepted
+  at rate ``1 − r`` must have sent ``≈ d / (1 − r)`` requests, so he
+  carries ``⌊d · r / (1 − r)⌉`` rejections, assigned to uniformly random
+  non-friend legitimate origins — the paper's "simple function of the
+  rejection rate and the number of his friends".
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..core.graph import AugmentedSocialGraph
+from .requests import RequestLog
+
+__all__ = [
+    "SpamStats",
+    "send_friend_spam",
+    "simulate_legitimate_rejections",
+    "add_careless_requests",
+]
+
+
+@dataclass
+class SpamStats:
+    """Outcome counts of one spam wave."""
+
+    requests: int = 0
+    accepted: int = 0
+    rejected: int = 0
+
+    @property
+    def rejection_rate(self) -> float:
+        return self.rejected / self.requests if self.requests else 0.0
+
+
+def _check_rate(rate: float, name: str) -> None:
+    if not 0 <= rate <= 1:
+        raise ValueError(f"{name} must be in [0, 1], got {rate}")
+
+
+def _degree_weighted_sample(
+    graph: AugmentedSocialGraph,
+    targets: Sequence[int],
+    count: int,
+    rng: random.Random,
+) -> List[int]:
+    """``count`` distinct targets sampled ∝ (1 + friendship degree)."""
+    weights = [1 + len(graph.friends[t]) for t in targets]
+    chosen: List[int] = []
+    chosen_set = set()
+    # Rejection sampling over the cumulative weights; fine for the
+    # sparse counts the workloads use.
+    total = sum(weights)
+    attempts = 0
+    while len(chosen) < count and attempts < 200 * count:
+        pick = rng.uniform(0, total)
+        acc = 0.0
+        for target, weight in zip(targets, weights):
+            acc += weight
+            if pick <= acc:
+                if target not in chosen_set:
+                    chosen_set.add(target)
+                    chosen.append(target)
+                break
+        attempts += 1
+    # Top up uniformly if the weighted draw stalled on duplicates.
+    if len(chosen) < count:
+        for target in rng.sample(list(targets), len(targets)):
+            if target not in chosen_set:
+                chosen.append(target)
+                chosen_set.add(target)
+                if len(chosen) == count:
+                    break
+    return chosen
+
+
+def send_friend_spam(
+    graph: AugmentedSocialGraph,
+    senders: Sequence[int],
+    targets: Sequence[int],
+    requests_per_sender: int,
+    rejection_rate: float,
+    rng: Optional[random.Random] = None,
+    log: Optional[RequestLog] = None,
+    targeting: str = "random",
+) -> SpamStats:
+    """Simulate a friend-spam wave from ``senders`` into ``targets``.
+
+    Each sender picks ``requests_per_sender`` distinct targets —
+    uniformly (``targeting="random"``, the paper's workload) or biased
+    toward popular users (``targeting="high_degree"``, degree-weighted:
+    attackers farming well-connected victims). Each request is rejected
+    with probability ``rejection_rate`` (adding the rejection edge
+    ``⟨target, sender⟩``) and accepted otherwise (adding the attack
+    friendship). Repeat sender/target pairs collapse per the graph's
+    dedup rules, exactly as repeated real-world requests collapse in the
+    model.
+    """
+    _check_rate(rejection_rate, "rejection_rate")
+    if requests_per_sender < 0:
+        raise ValueError(
+            f"requests_per_sender must be >= 0, got {requests_per_sender}"
+        )
+    if requests_per_sender > len(targets):
+        raise ValueError(
+            f"requests_per_sender={requests_per_sender} exceeds the "
+            f"{len(targets)} available targets"
+        )
+    if targeting not in ("random", "high_degree"):
+        raise ValueError(f"unknown targeting {targeting!r}")
+    rng = rng or random.Random(0)
+    stats = SpamStats()
+    target_list = list(targets)
+    for sender in senders:
+        if targeting == "high_degree":
+            picked = _degree_weighted_sample(
+                graph, target_list, requests_per_sender, rng
+            )
+        else:
+            picked = rng.sample(target_list, requests_per_sender)
+        for target in picked:
+            if target == sender:
+                continue
+            stats.requests += 1
+            accepted = rng.random() >= rejection_rate
+            if accepted:
+                graph.add_friendship(sender, target)
+                stats.accepted += 1
+            else:
+                graph.add_rejection(target, sender)
+                stats.rejected += 1
+            if log is not None:
+                log.record(sender, target, accepted)
+    return stats
+
+
+def simulate_legitimate_rejections(
+    graph: AugmentedSocialGraph,
+    legit: Sequence[int],
+    rejection_rate: float,
+    rng: Optional[random.Random] = None,
+    log: Optional[RequestLog] = None,
+) -> int:
+    """Add legit-to-legit rejection edges implied by the rejection rate.
+
+    For each legitimate user ``u`` with ``d`` friends, adds
+    ``round(d · r / (1 − r))`` rejections of ``u``'s (implied) requests,
+    cast by uniformly random non-friend legitimate users. Returns the
+    number of rejection edges added.
+    """
+    _check_rate(rejection_rate, "rejection_rate")
+    if rejection_rate >= 1.0:
+        raise ValueError("rejection_rate must be < 1 for legitimate users")
+    rng = rng or random.Random(0)
+    added = 0
+    legit_list = list(legit)
+    if len(legit_list) < 2:
+        return 0
+    ratio = rejection_rate / (1.0 - rejection_rate)
+    for u in legit_list:
+        degree = len(graph.friends[u])
+        expected = degree * ratio
+        count = int(expected)
+        if rng.random() < expected - count:
+            count += 1
+        friends = set(graph.friends[u])
+        attempts = 0
+        while count > 0 and attempts < 50 * count + 100:
+            origin = legit_list[rng.randrange(len(legit_list))]
+            attempts += 1
+            if origin == u or origin in friends:
+                continue
+            if graph.add_rejection(origin, u):
+                count -= 1
+                added += 1
+                if log is not None:
+                    log.record(u, origin, False)
+    return added
+
+
+def add_careless_requests(
+    graph: AugmentedSocialGraph,
+    legit: Sequence[int],
+    fakes: Sequence[int],
+    fraction: float,
+    rng: Optional[random.Random] = None,
+    log: Optional[RequestLog] = None,
+) -> List[int]:
+    """Careless legitimate users befriending the fake region.
+
+    A ``fraction`` of legitimate users each send exactly one friend
+    request to a uniformly random fake account, which accepts it (the
+    paper's stress-test: 15%). Returns the careless users' ids.
+    """
+    _check_rate(fraction, "fraction")
+    rng = rng or random.Random(0)
+    if not fakes:
+        return []
+    count = int(round(len(legit) * fraction))
+    careless = rng.sample(list(legit), count)
+    for user in careless:
+        fake = fakes[rng.randrange(len(fakes))]
+        graph.add_friendship(user, fake)
+        if log is not None:
+            log.record(user, fake, True)
+    return careless

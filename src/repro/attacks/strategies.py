@@ -1,0 +1,157 @@
+"""Strategic attacker behaviours (Sections VI-B, VI-C).
+
+Each strategy is a mutation applied on top of the baseline friend-spam
+workload:
+
+* **Collusion** (Fig. 13) — fakes accept each other's requests, adding
+  non-attack edges that drag each individual's rejection rate down
+  without touching the aggregate acceptance rate of the cross cut.
+* **Self-rejection** (Fig. 14) — a *whitewashed* half of the fakes
+  rejects requests sent by the other half, crafting a low
+  friends-to-rejections cut inside the fake region (Fig. 8).
+* **Rejecting legitimate requests** (Fig. 15) — fakes trick legitimate
+  users into sending requests and reject them all, planting rejections
+  that point *at legitimate users*.
+* **Stealth spamming** (Fig. 10) — only a fraction of the fakes send
+  spam; the rest hide behind intra-region links.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+from ..core.graph import AugmentedSocialGraph
+from .requests import RequestLog
+from .spam import SpamStats, _check_rate
+
+__all__ = [
+    "add_collusion_edges",
+    "apply_self_rejection",
+    "reject_legitimate_requests",
+    "pick_stealth_senders",
+]
+
+
+def add_collusion_edges(
+    graph: AugmentedSocialGraph,
+    fakes: Sequence[int],
+    extra_links_per_fake: int,
+    rng: Optional[random.Random] = None,
+) -> int:
+    """Collusion: each fake gains ``extra_links_per_fake`` accepted
+    intra-region requests (non-attack edges). Returns edges added."""
+    if extra_links_per_fake < 0:
+        raise ValueError(
+            f"extra_links_per_fake must be >= 0, got {extra_links_per_fake}"
+        )
+    if extra_links_per_fake and len(fakes) < 2:
+        raise ValueError("collusion needs at least two fakes")
+    rng = rng or random.Random(0)
+    fakes = list(fakes)
+    added = 0
+    for fake in fakes:
+        created = 0
+        attempts = 0
+        budget = 50 * extra_links_per_fake + 50
+        while created < extra_links_per_fake and attempts < budget:
+            other = fakes[rng.randrange(len(fakes))]
+            attempts += 1
+            if other != fake and graph.add_friendship(fake, other):
+                created += 1
+                added += 1
+    return added
+
+
+def apply_self_rejection(
+    graph: AugmentedSocialGraph,
+    senders: Sequence[int],
+    whitewashed: Sequence[int],
+    requests_per_sender: int,
+    rejection_rate: float,
+    rng: Optional[random.Random] = None,
+    log: Optional[RequestLog] = None,
+) -> SpamStats:
+    """Self-rejection: each sender fake sends ``requests_per_sender``
+    requests to the whitewashed fakes, who reject a ``rejection_rate``
+    fraction (mimicking legitimate users) and accept the rest.
+
+    Rejections point *into the sender half* — cast by whitewashed
+    accounts — so the crafted low-ratio cut isolates the senders.
+    """
+    _check_rate(rejection_rate, "rejection_rate")
+    if requests_per_sender > len(whitewashed):
+        raise ValueError(
+            f"requests_per_sender={requests_per_sender} exceeds the "
+            f"{len(whitewashed)} whitewashed accounts"
+        )
+    rng = rng or random.Random(0)
+    stats = SpamStats()
+    whitewashed = list(whitewashed)
+    for sender in senders:
+        for target in rng.sample(whitewashed, requests_per_sender):
+            if target == sender:
+                continue
+            stats.requests += 1
+            accepted = rng.random() >= rejection_rate
+            if accepted:
+                graph.add_friendship(sender, target)
+                stats.accepted += 1
+            else:
+                graph.add_rejection(target, sender)
+                stats.rejected += 1
+            if log is not None:
+                log.record(sender, target, accepted)
+    return stats
+
+
+def reject_legitimate_requests(
+    graph: AugmentedSocialGraph,
+    fakes: Sequence[int],
+    legit: Sequence[int],
+    num_rejections: int,
+    rng: Optional[random.Random] = None,
+    log: Optional[RequestLog] = None,
+) -> int:
+    """Fakes reject ``num_rejections`` requests from legitimate users.
+
+    Models careless/tricked legitimate users whose requests into the
+    spamming region are all turned down (Fig. 15): adds rejection edges
+    ``⟨fake, legit⟩``. Returns the number of distinct edges added.
+    """
+    if num_rejections < 0:
+        raise ValueError(f"num_rejections must be >= 0, got {num_rejections}")
+    if num_rejections and (not fakes or not legit):
+        raise ValueError("need both fakes and legitimate users")
+    if num_rejections > len(fakes) * len(legit):
+        raise ValueError(
+            f"num_rejections={num_rejections} exceeds the "
+            f"{len(fakes) * len(legit)} possible fake→legit pairs"
+        )
+    rng = rng or random.Random(0)
+    fakes = list(fakes)
+    legit = list(legit)
+    added = 0
+    attempts = 0
+    budget = 50 * num_rejections + 100
+    while added < num_rejections and attempts < budget:
+        fake = fakes[rng.randrange(len(fakes))]
+        user = legit[rng.randrange(len(legit))]
+        attempts += 1
+        if graph.add_rejection(fake, user):
+            added += 1
+            if log is not None:
+                log.record(user, fake, False)
+    return added
+
+
+def pick_stealth_senders(
+    fakes: Sequence[int],
+    sender_fraction: float,
+    rng: Optional[random.Random] = None,
+) -> List[int]:
+    """Choose which fakes spam under the stealth strategy (Fig. 10)."""
+    _check_rate(sender_fraction, "sender_fraction")
+    rng = rng or random.Random(0)
+    count = max(1, int(round(len(fakes) * sender_fraction))) if fakes else 0
+    return sorted(rng.sample(list(fakes), count)) if count else []

@@ -1,0 +1,82 @@
+"""Sybil-region injection.
+
+The paper's workload (Section VI-A) adds a spamming region of fake
+accounts to each social graph: "Upon the arrival of each fake account,
+it connects to 6 other fake accounts." Both uniform and
+degree-preferential intra-region attachment are supported — the paper
+does not pin the rule down, and the choice has no effect on the MAAR
+objective (those edges never cross the cut), which the tests verify.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..core.graph import AugmentedSocialGraph
+
+__all__ = ["SybilRegionConfig", "inject_sybil_region"]
+
+
+@dataclass(frozen=True)
+class SybilRegionConfig:
+    """Shape of the injected fake-account region.
+
+    Attributes
+    ----------
+    num_fakes:
+        Number of fake accounts to add.
+    intra_links_per_fake:
+        Links each arriving fake creates to already-present fakes
+        (the paper uses 6).
+    attachment:
+        ``"random"`` (uniform over existing fakes) or ``"preferential"``
+        (degree-proportional, BA-style).
+    """
+
+    num_fakes: int
+    intra_links_per_fake: int = 6
+    attachment: str = "random"
+
+
+def inject_sybil_region(
+    graph: AugmentedSocialGraph,
+    config: SybilRegionConfig,
+    rng: Optional[random.Random] = None,
+) -> List[int]:
+    """Append a fake-account region to ``graph`` (mutating it).
+
+    Returns the new fake-account ids. Intra-region links only; attack
+    edges and rejections are added by the spam simulator.
+    """
+    if config.num_fakes < 1:
+        raise ValueError(f"num_fakes must be >= 1, got {config.num_fakes}")
+    if config.intra_links_per_fake < 0:
+        raise ValueError(
+            f"intra_links_per_fake must be >= 0, got {config.intra_links_per_fake}"
+        )
+    if config.attachment not in ("random", "preferential"):
+        raise ValueError(f"unknown attachment {config.attachment!r}")
+    rng = rng or random.Random(0)
+    fakes = graph.add_nodes(config.num_fakes)
+    endpoints: List[int] = []  # for preferential attachment
+    for position, fake in enumerate(fakes):
+        if position == 0:
+            continue
+        links = min(config.intra_links_per_fake, position)
+        if config.attachment == "preferential" and endpoints:
+            chosen = set()
+            attempts = 0
+            while len(chosen) < links and attempts < 50 * links:
+                candidate = endpoints[rng.randrange(len(endpoints))]
+                if candidate != fake:
+                    chosen.add(candidate)
+                attempts += 1
+            targets = list(chosen)
+        else:
+            targets = rng.sample(fakes[:position], links)
+        for target in targets:
+            if graph.add_friendship(fake, target):
+                endpoints.extend((fake, target))
+    return fakes

@@ -1,0 +1,212 @@
+"""Time-stamped request timelines (for the Section VII deployment).
+
+The paper's discussion proposes running Rejecto per *time interval*: "the
+OSN provider can shard friend requests and rejections according to the
+time intervals in which they have occurred, and then run Rejecto on an
+augmented graph constructed from the sharded requests and rejections in
+each interval" — detecting compromised accounts in their post-compromise
+intervals.
+
+This module simulates such a timeline: legitimate request traffic every
+day, plus *compromise events* that flip chosen accounts to spamming
+behaviour from a given day on. :meth:`Timeline.shard` materializes the
+augmented graph of any interval (standing friendships plus the
+interval's requests), the input
+:func:`repro.core.sharding.detect_over_shards` consumes.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ..core.graph import AugmentedSocialGraph
+
+__all__ = [
+    "TimedRequest",
+    "CompromiseEvent",
+    "RecoveryEvent",
+    "TimelineConfig",
+    "Timeline",
+    "simulate_timeline",
+]
+
+
+@dataclass(frozen=True)
+class TimedRequest:
+    """One friend request with its day and response."""
+
+    day: int
+    sender: int
+    target: int
+    accepted: bool
+
+
+@dataclass(frozen=True)
+class CompromiseEvent:
+    """An account starts spamming on ``day`` (inclusive)."""
+
+    account: int
+    day: int
+
+
+@dataclass(frozen=True)
+class RecoveryEvent:
+    """A compromised account is cleaned up on ``day`` (inclusive):
+    from that day it behaves legitimately again. Models the OSN's
+    remediation loop — per-interval detection should stop flagging the
+    account in post-recovery shards."""
+
+    account: int
+    day: int
+
+
+@dataclass(frozen=True)
+class TimelineConfig:
+    """Timeline simulation parameters.
+
+    Legitimate users send ``legit_daily_requests`` requests per day on
+    average (Bernoulli-thinned), rejected at ``legit_rejection_rate``;
+    compromised accounts send ``spam_daily_requests`` per day, rejected
+    at ``spam_rejection_rate``, from their compromise day on.
+    """
+
+    num_days: int = 7
+    legit_daily_requests: float = 0.5
+    legit_rejection_rate: float = 0.2
+    spam_daily_requests: int = 20
+    spam_rejection_rate: float = 0.7
+
+
+class Timeline:
+    """A base social graph plus a day-stamped request stream."""
+
+    def __init__(
+        self,
+        base_graph: AugmentedSocialGraph,
+        requests: Sequence[TimedRequest],
+        num_days: int,
+    ) -> None:
+        if num_days < 1:
+            raise ValueError(f"num_days must be >= 1, got {num_days}")
+        for request in requests:
+            if not 0 <= request.day < num_days:
+                raise ValueError(
+                    f"request day {request.day} outside [0, {num_days})"
+                )
+        self.base_graph = base_graph
+        self.requests = list(requests)
+        self.num_days = num_days
+
+    @property
+    def num_users(self) -> int:
+        return self.base_graph.num_nodes
+
+    def requests_in(self, start_day: int, end_day: int) -> List[TimedRequest]:
+        """Requests with ``start_day <= day < end_day``."""
+        return [r for r in self.requests if start_day <= r.day < end_day]
+
+    def shard(
+        self, start_day: int, end_day: int, include_base: bool = True
+    ) -> AugmentedSocialGraph:
+        """Augmented graph of one interval (Section VII's shard).
+
+        Standing friendships are included by default — they are the
+        social context the MAAR cut separates spammers from; only the
+        *requests and rejections* are sharded by time.
+        """
+        if not 0 <= start_day < end_day <= self.num_days:
+            raise ValueError(
+                f"invalid interval [{start_day}, {end_day}) for "
+                f"{self.num_days} days"
+            )
+        graph = (
+            self.base_graph.copy()
+            if include_base
+            else AugmentedSocialGraph(self.num_users)
+        )
+        for request in self.requests_in(start_day, end_day):
+            if request.accepted:
+                graph.add_friendship(request.sender, request.target)
+            else:
+                graph.add_rejection(request.target, request.sender)
+        return graph
+
+    def daily_shards(self, include_base: bool = True) -> List[AugmentedSocialGraph]:
+        """One shard per day, in order."""
+        return [
+            self.shard(day, day + 1, include_base=include_base)
+            for day in range(self.num_days)
+        ]
+
+    def cumulative(self) -> AugmentedSocialGraph:
+        """The whole-window graph (what a non-sharded batch job sees)."""
+        return self.shard(0, self.num_days)
+
+
+def simulate_timeline(
+    base_graph: AugmentedSocialGraph,
+    compromises: Iterable[CompromiseEvent],
+    config: Optional[TimelineConfig] = None,
+    rng: Optional[random.Random] = None,
+    recoveries: Iterable[RecoveryEvent] = (),
+) -> Timeline:
+    """Simulate a request timeline over ``base_graph``.
+
+    Every user emits legitimate traffic daily; accounts named in
+    ``compromises`` switch to spamming behaviour from their compromise
+    day onward, until a matching :class:`RecoveryEvent` (if any) flips
+    them back to legitimate behaviour.
+    """
+    config = config or TimelineConfig()
+    rng = rng or random.Random(0)
+    num_users = base_graph.num_nodes
+    if num_users < 2:
+        raise ValueError("timeline needs at least two users")
+    compromise_day: Dict[int, int] = {}
+    for event in compromises:
+        if not 0 <= event.account < num_users:
+            raise ValueError(f"compromised account {event.account} out of range")
+        if not 0 <= event.day < config.num_days:
+            raise ValueError(f"compromise day {event.day} out of range")
+        day = compromise_day.get(event.account)
+        compromise_day[event.account] = event.day if day is None else min(day, event.day)
+    recovery_day: Dict[int, int] = {}
+    for event in recoveries:
+        if not 0 <= event.account < num_users:
+            raise ValueError(f"recovered account {event.account} out of range")
+        if not 0 <= event.day <= config.num_days:
+            raise ValueError(f"recovery day {event.day} out of range")
+        day = recovery_day.get(event.account)
+        recovery_day[event.account] = event.day if day is None else min(day, event.day)
+
+    requests: List[TimedRequest] = []
+    for day in range(config.num_days):
+        for user in range(num_users):
+            hijack_day = compromise_day.get(user)
+            cleaned = recovery_day.get(user)
+            hijacked_now = (
+                hijack_day is not None
+                and day >= hijack_day
+                and (cleaned is None or day < cleaned)
+            )
+            if hijacked_now:
+                count = config.spam_daily_requests
+                rejection_rate = config.spam_rejection_rate
+            else:
+                # Bernoulli-thin the fractional daily rate.
+                whole = int(config.legit_daily_requests)
+                count = whole + (
+                    1
+                    if rng.random() < config.legit_daily_requests - whole
+                    else 0
+                )
+                rejection_rate = config.legit_rejection_rate
+            for _ in range(count):
+                target = rng.randrange(num_users)
+                if target == user:
+                    continue
+                accepted = rng.random() >= rejection_rate
+                requests.append(TimedRequest(day, user, target, accepted))
+    return Timeline(base_graph, requests, config.num_days)

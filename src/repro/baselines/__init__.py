@@ -1,0 +1,40 @@
+"""Comparison and companion systems.
+
+* :class:`VoteTrust` — the paper's experimental comparison [35]
+  (PageRank-like votes + iterative vote aggregation on the directed
+  friend-request graph).
+* :class:`SybilRank` — the social-graph-based detector [15] composed
+  with Rejecto in the defense-in-depth study (Section VI-D).
+* :func:`naive_rejection_filter` — the per-user rejection-rate filter
+  that collusion defeats (ablation baseline).
+* :class:`SignedTrust`, :func:`triad_census`/:func:`balance_filter`,
+  :class:`SybilFence` — the related approaches of Section VIII
+  ([20]/[23]/[40] signed trust, [29] structural balance, [16]
+  SybilFence), implemented so the paper's critiques of them are
+  runnable.
+"""
+
+from .balance import TriadCensus, balance_filter, balance_scores, triad_census
+from .rejection_filter import naive_rejection_filter, rejection_rate_scores
+from .signed_trust import SignedTrust, SignedTrustConfig
+from .sybilfence import SybilFence, SybilFenceConfig
+from .sybilrank import SybilRank, SybilRankConfig
+from .votetrust import VoteTrust, VoteTrustConfig, VoteTrustResult
+
+__all__ = [
+    "VoteTrust",
+    "VoteTrustConfig",
+    "VoteTrustResult",
+    "SybilRank",
+    "SybilRankConfig",
+    "naive_rejection_filter",
+    "rejection_rate_scores",
+    "SignedTrust",
+    "SignedTrustConfig",
+    "SybilFence",
+    "SybilFenceConfig",
+    "TriadCensus",
+    "triad_census",
+    "balance_scores",
+    "balance_filter",
+]

@@ -1,0 +1,139 @@
+"""Structural balance analysis of the signed social graph — related work.
+
+Section VIII: recent signed-network work studies *structural balance*
+[29] — a triad (three mutually connected users) is balanced if its edge
+signs respect "the friend of my friend is my friend / the enemy of my
+enemy is my friend" (an even number of negative edges). The paper
+remarks that "it is unclear how the structure balance theory could be
+used to detect friend spammers."
+
+This module makes that remark testable: it computes the signed triad
+census of an augmented graph (friendships as ``+``, rejections collapsed
+to undirected ``−``) and derives the obvious per-node spam score — the
+fraction of a user's triads that are unbalanced. The tests and the
+related-work benchmark show the score separates friend spammers far
+worse than the MAAR cut does, substantiating the remark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..core.graph import AugmentedSocialGraph
+
+__all__ = ["TriadCensus", "triad_census", "balance_scores", "balance_filter"]
+
+
+@dataclass
+class TriadCensus:
+    """Counts of signed triads by number of negative edges."""
+
+    all_positive: int = 0  # +++ balanced
+    one_negative: int = 0  # ++- unbalanced
+    two_negative: int = 0  # +-- balanced
+    all_negative: int = 0  # --- unbalanced
+
+    @property
+    def total(self) -> int:
+        return (
+            self.all_positive
+            + self.one_negative
+            + self.two_negative
+            + self.all_negative
+        )
+
+    @property
+    def balanced(self) -> int:
+        return self.all_positive + self.two_negative
+
+    @property
+    def unbalanced(self) -> int:
+        return self.one_negative + self.all_negative
+
+    @property
+    def balance_fraction(self) -> float:
+        return self.balanced / self.total if self.total else 1.0
+
+
+def _signed_adjacency(graph: AugmentedSocialGraph) -> List[Dict[int, int]]:
+    """Per-node map neighbour -> sign (+1 friendship, -1 any rejection).
+
+    A pair with both a friendship and a rejection counts as negative:
+    the negative interaction is the anomaly balance theory keys on.
+    """
+    signs: List[Dict[int, int]] = [dict() for _ in range(graph.num_nodes)]
+    for u, v in graph.friendships():
+        signs[u][v] = 1
+        signs[v][u] = 1
+    for rejecter, sender in graph.rejections():
+        signs[rejecter][sender] = -1
+        signs[sender][rejecter] = -1
+    return signs
+
+
+def triad_census(graph: AugmentedSocialGraph) -> TriadCensus:
+    """Census of all signed triads (triangles in the signed graph)."""
+    signs = _signed_adjacency(graph)
+    census = TriadCensus()
+    for u in range(graph.num_nodes):
+        neighbours = [v for v in signs[u] if v > u]
+        for i, v in enumerate(neighbours):
+            for w in neighbours[i + 1 :]:
+                sign_vw = signs[v].get(w)
+                if sign_vw is None:
+                    continue
+                negatives = (
+                    (signs[u][v] < 0) + (signs[u][w] < 0) + (sign_vw < 0)
+                )
+                if negatives == 0:
+                    census.all_positive += 1
+                elif negatives == 1:
+                    census.one_negative += 1
+                elif negatives == 2:
+                    census.two_negative += 1
+                else:
+                    census.all_negative += 1
+    return census
+
+
+def balance_scores(graph: AugmentedSocialGraph) -> Dict[int, float]:
+    """Per-node fraction of *unbalanced* incident triads (higher = worse).
+
+    Nodes in no triads score 0 (no evidence either way).
+    """
+    signs = _signed_adjacency(graph)
+    unbalanced = [0] * graph.num_nodes
+    total = [0] * graph.num_nodes
+    for u in range(graph.num_nodes):
+        neighbours = [v for v in signs[u] if v > u]
+        for i, v in enumerate(neighbours):
+            for w in neighbours[i + 1 :]:
+                sign_vw = signs[v].get(w)
+                if sign_vw is None:
+                    continue
+                negatives = (
+                    (signs[u][v] < 0) + (signs[u][w] < 0) + (sign_vw < 0)
+                )
+                is_unbalanced = negatives % 2 == 1
+                for node in (u, v, w):
+                    total[node] += 1
+                    if is_unbalanced:
+                        unbalanced[node] += 1
+    return {
+        u: (unbalanced[u] / total[u] if total[u] else 0.0)
+        for u in range(graph.num_nodes)
+    }
+
+
+def balance_filter(graph: AugmentedSocialGraph, suspicious_count: int) -> List[int]:
+    """The ``suspicious_count`` users with the most unbalanced triads.
+
+    Ties break toward more absolute unbalanced involvement, then by id.
+    """
+    scores = balance_scores(graph)
+    signs = _signed_adjacency(graph)
+    return sorted(
+        scores,
+        key=lambda u: (-scores[u], -len(signs[u]), u),
+    )[:suspicious_count]

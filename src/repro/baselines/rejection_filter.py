@@ -1,0 +1,47 @@
+"""Naive per-user rejection-rate filter.
+
+The "simple spam filter" the paper argues collusion defeats (Section
+VI-C, [16], [36]): score each user by the rejection rate of his own
+requests, estimated from the augmented graph as
+``rejections_received / (rejections_received + friends)``, and declare
+the highest-scoring users suspicious.
+
+Collusion breaks it directly: intra-fake accepted requests inflate the
+denominator of every colluder, dragging individual rates down to
+legitimate levels while the *aggregate* cross-region rate — what Rejecto
+measures — is untouched. Kept as an ablation baseline to demonstrate
+exactly that failure mode.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..core.graph import AugmentedSocialGraph
+
+__all__ = ["rejection_rate_scores", "naive_rejection_filter"]
+
+
+def rejection_rate_scores(graph: AugmentedSocialGraph) -> Dict[int, float]:
+    """Per-user estimated request-rejection rate (higher = worse)."""
+    scores: Dict[int, float] = {}
+    for u in range(graph.num_nodes):
+        rejected = len(graph.rej_in[u])
+        accepted = len(graph.friends[u])
+        total = rejected + accepted
+        scores[u] = rejected / total if total else 0.0
+    return scores
+
+
+def naive_rejection_filter(
+    graph: AugmentedSocialGraph, suspicious_count: int
+) -> List[int]:
+    """The ``suspicious_count`` users with the highest rejection rates.
+
+    Ties break toward more absolute rejections, then by id.
+    """
+    scores = rejection_rate_scores(graph)
+    return sorted(
+        scores,
+        key=lambda u: (-scores[u], -len(graph.rej_in[u]), u),
+    )[:suspicious_count]

@@ -1,0 +1,108 @@
+"""Signed-network trust propagation (PageTrust-style) — related work.
+
+Section VIII discusses trust propagation in signed social networks
+(PageTrust [20], Guha et al. [23], Ziegler & Lausen [40]): rank users by
+propagating trust along positive edges and *distrust* along negative
+ones. The paper's critique: "they consider negative votes and ratings
+that malicious users can arbitrarily cast. As a result, they are not
+resilient to user distortion" — in contrast to social rejections, which
+only exist if the *victim* sent a request (Section II-B's
+non-manipulability argument).
+
+This module implements a representative such scheme so the critique is
+runnable (see ``tests/baselines/test_related_work.py`` and
+``benchmarks/bench_related_work.py``): a damped trust walk over the
+positive (friendship) edges from trusted seeds, discounted by the
+trust-weighted negative ratings each user received. Negative ratings are
+a free-form input — *anyone may rate anyone* — which is precisely the
+attack surface.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..core.graph import AugmentedSocialGraph
+
+__all__ = ["SignedTrustConfig", "SignedTrust"]
+
+
+@dataclass(frozen=True)
+class SignedTrustConfig:
+    """Parameters of the signed trust propagation.
+
+    ``distrust_weight`` scales how strongly received negative ratings
+    discount a user's propagated trust; ``iterations`` bounds the trust
+    walk; ``damping`` is the restart probability mass kept at the seeds.
+    """
+
+    damping: float = 0.85
+    iterations: int = 30
+    distrust_weight: float = 1.0
+
+
+class SignedTrust:
+    """Trust/distrust ranking over a friendship graph plus ratings."""
+
+    def __init__(self, config: Optional[SignedTrustConfig] = None) -> None:
+        self.config = config or SignedTrustConfig()
+
+    def rank(
+        self,
+        graph: AugmentedSocialGraph,
+        trusted_seeds: Sequence[int],
+        negative_ratings: Iterable[Tuple[int, int]] = (),
+    ) -> Dict[int, float]:
+        """Final scores (higher = more trusted).
+
+        ``negative_ratings`` are ``(rater, target)`` pairs. Unlike the
+        rejection edges of the augmented graph, they carry no structural
+        precondition — any account can rate any other, which is exactly
+        what makes the scheme manipulable.
+        """
+        if not trusted_seeds:
+            raise ValueError("signed trust needs at least one trusted seed")
+        config = self.config
+        n = graph.num_nodes
+        restart = [0.0] * n
+        share = 1.0 / len(trusted_seeds)
+        for seed in trusted_seeds:
+            restart[seed] += share
+        trust = list(restart)
+        for _ in range(config.iterations):
+            nxt = [(1 - config.damping) * r for r in restart]
+            for u in range(n):
+                mass = trust[u]
+                friends = graph.friends[u]
+                if not mass or not friends:
+                    continue
+                spread = config.damping * mass / len(friends)
+                for v in friends:
+                    nxt[v] += spread
+            trust = nxt
+
+        # Distrust: each negative rating discounts the target with weight
+        # ``1 + n·trust(rater)`` — a baseline unit so *every* account's
+        # ratings count for something (the standard design, and exactly
+        # the manipulation opening), boosted by the rater's trust so
+        # well-trusted raters count for more. ``n·trust`` makes an
+        # average-trust rater's boost ~1 regardless of graph size.
+        distrust = [0.0] * n
+        for rater, target in negative_ratings:
+            distrust[target] += (1.0 + n * trust[rater]) * config.distrust_weight
+        scores: Dict[int, float] = {}
+        for u in range(n):
+            scores[u] = trust[u] / (1.0 + distrust[u])
+        return scores
+
+    def most_suspicious(
+        self,
+        graph: AugmentedSocialGraph,
+        trusted_seeds: Sequence[int],
+        count: int,
+        negative_ratings: Iterable[Tuple[int, int]] = (),
+    ) -> List[int]:
+        """The ``count`` lowest-scored users."""
+        scores = self.rank(graph, trusted_seeds, negative_ratings)
+        return sorted(scores, key=lambda u: (scores[u], u))[:count]

@@ -1,0 +1,120 @@
+"""SybilRank [15] — the social-graph-based Sybil detector used for the
+defense-in-depth study (Sections II-C, VI-D).
+
+SybilRank distributes trust from known legitimate seeds via an
+early-terminated power iteration over the *friendship* graph:
+
+* trust starts concentrated on the seeds,
+* each iteration spreads every node's trust equally over its friends,
+* after ``O(log n)`` iterations (before trust mixes into the Sybil
+  region through the few attack edges) the per-node trust is
+  *degree-normalized* and users are ranked by it — Sybils sink to the
+  bottom of the ranking.
+
+The ranking quality is measured by the AUC of separating Sybils from
+legitimate users (:func:`repro.metrics.roc.auc_from_scores`). Removing
+friend spammers with Rejecto first cuts most attack edges, which is what
+Figure 16 shows driving the AUC toward 1.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..core.graph import AugmentedSocialGraph
+
+__all__ = ["SybilRankConfig", "SybilRank"]
+
+
+@dataclass(frozen=True)
+class SybilRankConfig:
+    """SybilRank parameters.
+
+    ``iterations`` overrides the default early-termination count of
+    ``ceil(log2(n))`` when set; ``total_trust`` is the trust mass
+    injected at the seeds. ``backend`` selects the pure-Python loop
+    (``"python"``) or the scipy sparse-matrix implementation
+    (``"numpy"``, identical results, much faster on large graphs).
+    """
+
+    iterations: Optional[int] = None
+    total_trust: float = 1000.0
+    backend: str = "python"
+
+
+class SybilRank:
+    """Early-terminated trust propagation over the friendship graph."""
+
+    def __init__(self, config: Optional[SybilRankConfig] = None) -> None:
+        self.config = config or SybilRankConfig()
+
+    def rank(
+        self,
+        graph: AugmentedSocialGraph,
+        trusted_seeds: Sequence[int],
+    ) -> Dict[int, float]:
+        """Degree-normalized trust of every node (higher = more trusted).
+
+        Isolated nodes keep zero trust and a degree-normalized score of
+        zero — they are maximally suspicious, matching SybilRank's
+        treatment of nodes unreachable from the seeds. Rejection edges
+        are ignored: SybilRank predates rejection-augmented graphs.
+        """
+        if not trusted_seeds:
+            raise ValueError("SybilRank needs at least one trusted seed")
+        n = graph.num_nodes
+        config = self.config
+        iterations = config.iterations
+        if iterations is None:
+            iterations = max(1, math.ceil(math.log2(max(2, n))))
+        if config.backend == "numpy":
+            from .linalg import friendship_transition_matrix, propagate
+
+            trust_vector = propagate(
+                friendship_transition_matrix(graph),
+                trusted_seeds,
+                config.total_trust,
+                iterations,
+            )
+            return {
+                u: (
+                    float(trust_vector[u]) / len(graph.friends[u])
+                    if graph.friends[u]
+                    else 0.0
+                )
+                for u in range(n)
+            }
+        if config.backend != "python":
+            raise ValueError(f"unknown backend {config.backend!r}")
+        trust = [0.0] * n
+        share = config.total_trust / len(trusted_seeds)
+        for seed in trusted_seeds:
+            trust[seed] += share
+        for _ in range(iterations):
+            nxt = [0.0] * n
+            for u in range(n):
+                mass = trust[u]
+                friends = graph.friends[u]
+                if not mass or not friends:
+                    continue
+                spread = mass / len(friends)
+                for v in friends:
+                    nxt[v] += spread
+            trust = nxt
+        scores: Dict[int, float] = {}
+        for u in range(n):
+            degree = len(graph.friends[u])
+            scores[u] = trust[u] / degree if degree else 0.0
+        return scores
+
+    def most_suspicious(
+        self,
+        graph: AugmentedSocialGraph,
+        trusted_seeds: Sequence[int],
+        count: int,
+    ) -> List[int]:
+        """The ``count`` lowest-scored (least trusted) users."""
+        scores = self.rank(graph, trusted_seeds)
+        return sorted(scores, key=lambda u: (scores[u], u))[:count]

@@ -1,0 +1,203 @@
+"""VoteTrust [35] — the paper's comparison system (Section VI).
+
+VoteTrust ranks users on the directed friend-request graph in two steps:
+
+1. **Vote assignment** — a PageRank-like computation over request edges
+   seeded at trusted users assigns each user a number of *votes*. Fake
+   accounts attract few organic requests, so their votes are low — but
+   the paper notes this is manipulable, since attackers can request
+   among themselves [18].
+2. **Vote aggregation** — each user's *rating* is the weighted average
+   of the responses (1 = accepted, 0 = rejected) that his outgoing
+   requests received; the weight of the request to target ``w`` is
+   ``votes(w) · rating(w)``, so being accepted by well-voted, well-rated
+   users counts for more. Ratings are computed iteratively because they
+   appear in their own weights.
+
+The lowest-rated users are declared suspicious. Exactly this two-step
+design is what Section VI shows to be fragile under collusion (weights
+among fakes rise together) and to *benefit* from self-rejection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..attacks.requests import RequestLog
+
+__all__ = ["VoteTrustConfig", "VoteTrustResult", "VoteTrust"]
+
+
+@dataclass(frozen=True)
+class VoteTrustConfig:
+    """VoteTrust parameters.
+
+    ``damping``/``vote_iterations`` drive the PageRank-like vote
+    assignment; ``rating_iterations`` drives the aggregation;
+    ``default_rating`` is assigned to users who never sent a request
+    (no evidence, treated as legitimate-looking).
+
+    ``prior_weight``/``prior_rating`` smooth the aggregation with a
+    pseudo-observation worth ``prior_weight`` mean-vote-weighted
+    accepted requests: a legitimate user with one or two sporadic
+    rejections is pulled toward the prior instead of collapsing to a
+    zero rating, while a spammer's 20 mostly-rejected requests swamp
+    it. Without smoothing the scheme misranks low-activity legitimate
+    users far below the paper's reported accuracy.
+
+    ``vote_floor`` gives every response a baseline voting capacity of
+    ``vote_floor`` times the mean vote, on top of the propagated votes —
+    every OSN user can respond to requests, not only those reachable
+    from the trust seeds. The floor is also what makes VoteTrust exhibit
+    its documented collusion sensitivity (Fig. 13): intra-fake accepted
+    responses carry this baseline weight, so dense collusion inflates
+    colluders' ratings — exactly the manipulability the paper points out
+    (its [18]: PageRank-style scores can be gamed by accounts requesting
+    among themselves).
+    """
+
+    damping: float = 0.85
+    vote_iterations: int = 30
+    rating_iterations: int = 10
+    default_rating: float = 1.0
+    prior_weight: float = 5.0
+    prior_rating: float = 1.0
+    vote_floor: float = 1.0
+
+
+@dataclass
+class VoteTrustResult:
+    """Votes, ratings, and the derived suspicious ranking."""
+
+    votes: Dict[int, float]
+    ratings: Dict[int, float]
+
+    def ranked_suspicious(self) -> List[int]:
+        """All users, most suspicious first.
+
+        Primary key: ascending rating (low acceptance of one's requests);
+        secondary: ascending votes (few organic incoming requests);
+        ternary: node id, for determinism.
+        """
+        return sorted(
+            self.ratings,
+            key=lambda u: (self.ratings[u], self.votes.get(u, 0.0), u),
+        )
+
+    def most_suspicious(self, count: int) -> List[int]:
+        """The ``count`` users with the lowest ratings."""
+        return self.ranked_suspicious()[:count]
+
+
+class VoteTrust:
+    """The VoteTrust fake-account detector.
+
+    Operates on a :class:`repro.attacks.requests.RequestLog` — the
+    directed friend-request graph with responses — plus a set of trusted
+    seed users for the vote assignment.
+    """
+
+    def __init__(self, config: Optional[VoteTrustConfig] = None) -> None:
+        self.config = config or VoteTrustConfig()
+
+    # ------------------------------------------------------------------
+    # Step 1: PageRank-like vote assignment.
+    # ------------------------------------------------------------------
+    def assign_votes(
+        self,
+        num_users: int,
+        log: RequestLog,
+        trusted_seeds: Sequence[int],
+    ) -> Dict[int, float]:
+        """Votes via damped power iteration along request edges.
+
+        Trust is injected at the seeds and flows along each request
+        ``u → v`` in proportion to ``u``'s out-degree; the total vote
+        mass is ``num_users``, mirroring PageRank with a personalized
+        restart vector.
+        """
+        if not trusted_seeds:
+            raise ValueError("vote assignment needs at least one trusted seed")
+        config = self.config
+        out_edges: Dict[int, List[int]] = {}
+        for request in log:
+            out_edges.setdefault(request.sender, []).append(request.target)
+        seed_share = num_users / len(trusted_seeds)
+        restart = {seed: seed_share for seed in trusted_seeds}
+        votes = dict(restart)
+        for _ in range(config.vote_iterations):
+            incoming: Dict[int, float] = {}
+            for sender, targets in out_edges.items():
+                mass = votes.get(sender, 0.0)
+                if not mass:
+                    continue
+                share = mass / len(targets)
+                for target in targets:
+                    incoming[target] = incoming.get(target, 0.0) + share
+            votes = {
+                u: (1 - config.damping) * restart.get(u, 0.0)
+                + config.damping * incoming.get(u, 0.0)
+                for u in set(restart) | set(incoming)
+            }
+        return votes
+
+    # ------------------------------------------------------------------
+    # Step 2: iterative vote aggregation.
+    # ------------------------------------------------------------------
+    def aggregate_ratings(
+        self,
+        num_users: int,
+        log: RequestLog,
+        votes: Dict[int, float],
+    ) -> Dict[int, float]:
+        """Ratings as vote-weighted acceptance averages of sent requests."""
+        config = self.config
+        out_requests = log.out_requests()
+        ratings = {u: config.default_rating for u in range(num_users)}
+        mean_vote = sum(votes.values()) / len(votes) if votes else 0.0
+        prior_mass = config.prior_weight * mean_vote
+        floor = config.vote_floor * mean_vote
+        for _ in range(config.rating_iterations):
+            updated = dict(ratings)
+            for sender, requests in out_requests.items():
+                numerator = prior_mass * config.prior_rating
+                denominator = prior_mass
+                for request in requests:
+                    weight = (votes.get(request.target, 0.0) + floor) * ratings.get(
+                        request.target, config.default_rating
+                    )
+                    denominator += weight
+                    if request.accepted:
+                        numerator += weight
+                if denominator > 0:
+                    updated[sender] = numerator / denominator
+            ratings = updated
+        return ratings
+
+    # ------------------------------------------------------------------
+    # End to end.
+    # ------------------------------------------------------------------
+    def rank(
+        self,
+        num_users: int,
+        log: RequestLog,
+        trusted_seeds: Sequence[int],
+    ) -> VoteTrustResult:
+        """Run both steps and return the full result."""
+        votes = self.assign_votes(num_users, log, trusted_seeds)
+        ratings = self.aggregate_ratings(num_users, log, votes)
+        return VoteTrustResult(votes=votes, ratings=ratings)
+
+    def detect(
+        self,
+        num_users: int,
+        log: RequestLog,
+        trusted_seeds: Sequence[int],
+        suspicious_count: int,
+    ) -> List[int]:
+        """The ``suspicious_count`` lowest-rated users (the paper's
+        evaluation declares as many suspicious users as injected fakes)."""
+        return self.rank(num_users, log, trusted_seeds).most_suspicious(
+            suspicious_count
+        )

@@ -1,0 +1,37 @@
+"""Spark-like mini-cluster substrate (Section V, Table II).
+
+A single-process stand-in for the paper's Spark/EC2 deployment that
+preserves its *data layout* and traffic patterns: partitioned datasets
+with lineage and caching on simulated workers, master-resident node
+status and gain buckets, LRU prefetching of node structure, and full
+network-I/O accounting. See DESIGN.md, substitution 2.
+"""
+
+from .engine import (
+    ClusterConfig,
+    ClusterRunStats,
+    DistributedKL,
+    distributed_maar,
+)
+from .netsim import NetworkModel, NetworkSimulator, NetworkStats
+from .prefetch import PrefetchBuffer, PrefetchStats
+from .rdd import ClusterContext, DataLossError, PartitionedDataset, estimate_bytes
+from .worker import Worker, WorkerFailure
+
+__all__ = [
+    "ClusterConfig",
+    "ClusterRunStats",
+    "DistributedKL",
+    "distributed_maar",
+    "NetworkModel",
+    "NetworkSimulator",
+    "NetworkStats",
+    "PrefetchBuffer",
+    "PrefetchStats",
+    "ClusterContext",
+    "PartitionedDataset",
+    "estimate_bytes",
+    "Worker",
+    "WorkerFailure",
+    "DataLossError",
+]

@@ -1,0 +1,352 @@
+"""Distributed extended-KL engine on the mini-cluster.
+
+Implements the architecture of Section V:
+
+* the **workers** hold the graph — one record per node carrying its
+  friendship and rejection adjacency — as cached, indexed partitions;
+* the **master** keeps the per-node status (side assignment) and the
+  gain bucket list, so the hot update path never crosses the network;
+* node structure is pulled through an LRU **prefetch buffer**: each miss
+  also fetches the current top-gain nodes of the bucket list, which are
+  exactly the nodes the greedy loop will pop next.
+
+The engine executes the same greedy single-node-switch discipline as
+:func:`repro.core.kl.extended_kl` (same gain updates, same LIFO bucket
+tie-breaks, same best-prefix rollback), so given identical inputs it
+returns *identical* partitions — property-tested in
+``tests/cluster/test_engine.py``. What differs is the accounting: every
+fetch, broadcast, and collect is charged to the network simulator,
+which is what Table II's scaling study and the prefetch ablation
+measure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.graph import AugmentedSocialGraph
+from ..core.maar import MAARConfig, geometric_k_sequence
+from ..core.objectives import LEGITIMATE, SUSPICIOUS, acceptance_rate
+from .master import MasterState, NodeRecord
+from .netsim import NetworkSimulator, NetworkStats
+from .prefetch import PrefetchBuffer
+from .rdd import ClusterContext, DataLossError, PartitionedDataset, estimate_bytes
+
+__all__ = ["ClusterConfig", "ClusterRunStats", "DistributedKL", "distributed_maar"]
+
+_EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Cluster and engine shape.
+
+    Defaults mirror the paper's five-node evaluation cluster. A
+    ``buffer_capacity`` of 0 disables prefetching (the "fetch per node
+    on demand" strawman of Section V).
+    """
+
+    num_workers: int = 5
+    num_partitions: int = 20
+    buffer_capacity: int = 4096
+    prefetch_batch: int = 64
+    gain_index: str = "bucket"
+    resolution: int = 8
+    max_passes: int = 30
+    replication: int = 1
+
+
+@dataclass
+class ClusterRunStats:
+    """Diagnostics of one distributed KL run."""
+
+    passes: int = 0
+    switches_tested: int = 0
+    switches_applied: int = 0
+    network: NetworkStats = field(default_factory=NetworkStats)
+    prefetch_hits: int = 0
+    prefetch_misses: int = 0
+
+    @property
+    def prefetch_hit_rate(self) -> float:
+        total = self.prefetch_hits + self.prefetch_misses
+        return self.prefetch_hits / total if total else 0.0
+
+
+def _record_gain(
+    record: NodeRecord, sides: Sequence[int], k: float
+) -> float:
+    """Switch gain of a node from its worker-resident record — the same
+    arithmetic as ``Partition.switch_gain``."""
+    node, friends, rej_out, rej_in = record
+    s = sides[node]
+    friends_delta = 0
+    for v in friends:
+        friends_delta += 1 if sides[v] == s else -1
+    rej_delta = 0
+    if s == LEGITIMATE:
+        for v in rej_out:
+            if sides[v] == SUSPICIOUS:
+                rej_delta -= 1
+        for w in rej_in:
+            if sides[w] == LEGITIMATE:
+                rej_delta += 1
+    else:
+        for v in rej_out:
+            if sides[v] == SUSPICIOUS:
+                rej_delta += 1
+        for w in rej_in:
+            if sides[w] == LEGITIMATE:
+                rej_delta -= 1
+    return -(friends_delta - k * rej_delta)
+
+
+def _record_cut_contribution(
+    record: NodeRecord, sides: Sequence[int]
+) -> Tuple[int, int]:
+    """(cross friendships counted from this endpoint, counted rejections
+    cast by this node). Friendships are double-counted across the two
+    endpoints; the caller halves the sum."""
+    node, friends, rej_out, _rej_in = record
+    s = sides[node]
+    f_cross = sum(1 for v in friends if sides[v] != s)
+    r_cross = 0
+    if s == LEGITIMATE:
+        r_cross = sum(1 for v in rej_out if sides[v] == SUSPICIOUS)
+    return f_cross, r_cross
+
+
+class DistributedKL:
+    """Extended KL with worker-resident graph and master-resident state."""
+
+    def __init__(
+        self,
+        graph: AugmentedSocialGraph,
+        config: Optional[ClusterConfig] = None,
+        network: Optional[NetworkSimulator] = None,
+    ) -> None:
+        self.config = config or ClusterConfig()
+        self.graph_size = graph.num_nodes
+        self.network = network or NetworkSimulator()
+        self.context = ClusterContext(
+            self.config.num_workers,
+            self.network,
+            replication=self.config.replication,
+        )
+        records: List[NodeRecord] = [
+            (
+                u,
+                tuple(graph.friends[u]),
+                tuple(graph.rej_out[u]),
+                tuple(graph.rej_in[u]),
+            )
+            for u in range(graph.num_nodes)
+        ]
+        self.dataset: PartitionedDataset = self.context.parallelize(
+            records, num_partitions=self.config.num_partitions
+        ).cache()
+        # Index every source partition (on every replica) by node id.
+        for pid in range(self.config.num_partitions):
+            for worker in self.context.workers_for(pid):
+                worker.build_index(self.dataset.partition_key(pid), lambda r: r[0])
+        # Per-node degree split, for the gain-bound computation at each k.
+        self._degree_parts = [
+            (len(r[1]), len(r[2]) + len(r[3])) for r in records
+        ]
+
+    def _max_abs_gain(self, k: float) -> float:
+        """Lifetime gain bound at weight ``k`` (cf. ``kl._max_abs_gain``)."""
+        return max(
+            (friends + k * rejections for friends, rejections in self._degree_parts),
+            default=1.0,
+        )
+
+    # ------------------------------------------------------------------
+    # Worker access
+    # ------------------------------------------------------------------
+    def _fetch_records(self, nodes: Sequence[int]) -> List[Tuple[int, NodeRecord]]:
+        """One batched fetch: group nodes by partition, pull from the
+        owning workers, charge one message per partition touched."""
+        by_partition: Dict[int, List[int]] = {}
+        for node in nodes:
+            by_partition.setdefault(node % self.config.num_partitions, []).append(
+                node
+            )
+        fetched: List[Tuple[int, NodeRecord]] = []
+        payload = 0
+        for pid, keys in by_partition.items():
+            # Failover: the first surviving replica serves the lookup.
+            records = None
+            for worker in self.context.workers_for(pid):
+                if not worker.alive:
+                    continue
+                records = worker.lookup(self.dataset.partition_key(pid), keys)
+                break
+            if records is None:
+                raise DataLossError(
+                    f"all replicas of partition {pid} have failed"
+                )
+            payload += estimate_bytes(records)
+            fetched.extend((record[0], record) for record in records)
+        self.network.send("fetch", payload, messages=len(by_partition))
+        return fetched
+
+    def _broadcast_sides(self, sides: Sequence[int]) -> None:
+        """Charge the broadcast of the side vector to every worker."""
+        self.network.send(
+            "broadcast",
+            estimate_bytes(list(sides)) * self.config.num_workers,
+            messages=self.config.num_workers,
+        )
+
+    def _distributed_initial_state(
+        self, sides: Sequence[int], k: float
+    ) -> Tuple[Dict[int, float], int, int]:
+        """Initial per-node gains and cut counters via a cluster map."""
+        self._broadcast_sides(sides)
+        gains_dataset = self.dataset.map(
+            lambda record: (
+                record[0],
+                _record_gain(record, sides, k),
+                _record_cut_contribution(record, sides),
+            )
+        )
+        gains: Dict[int, float] = {}
+        double_f = 0
+        r_cross = 0
+        for node, gain, (f_part, r_part) in gains_dataset.collect():
+            gains[node] = gain
+            double_f += f_part
+            r_cross += r_part
+        return gains, double_f // 2, r_cross
+
+    # ------------------------------------------------------------------
+    # The KL pass loop
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        k: float,
+        initial_sides: Sequence[int],
+        locked: Optional[Sequence[bool]] = None,
+        stats: Optional[ClusterRunStats] = None,
+    ) -> Tuple[List[int], int, int]:
+        """Minimize ``|F(Ū,U)| − k·|R⃗⟨Ū,U⟩|`` from ``initial_sides``.
+
+        Returns ``(sides, f_cross, r_cross)`` of the improved partition.
+        """
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        n = self.graph_size
+        config = self.config
+        if locked is None:
+            locked = [False] * n
+        sides = list(initial_sides)
+        if len(sides) != n:
+            raise ValueError(f"initial_sides has length {len(sides)}, expected {n}")
+
+        buffer = PrefetchBuffer(
+            capacity=config.buffer_capacity,
+            fetch_batch=self._fetch_records,
+            batch_size=config.prefetch_batch,
+        )
+        f_cross = r_cross = 0
+        for pass_index in range(config.max_passes):
+            if stats is not None:
+                stats.passes += 1
+            gains, f_cross, r_cross = self._distributed_initial_state(sides, k)
+
+            state = MasterState.for_pass(
+                n,
+                k,
+                sides,
+                f_cross,
+                r_cross,
+                sorted(gains.items()),
+                locked,
+                gain_index_kind=config.gain_index,
+                max_abs_gain=self._max_abs_gain(k),
+                resolution=config.resolution,
+            )
+
+            cumulative = 0.0
+            best_cumulative = 0.0
+            best_length = 0
+            while True:
+                popped = state.pop_best()
+                if popped is None:
+                    break
+                u, gain = popped
+                # Offer a deep candidate list so the buffer can fill its
+                # batch with nodes it does not already hold.
+                record = buffer.get(
+                    u,
+                    prefetch_candidates=state.prefetch_candidates(
+                        config.prefetch_batch * 4
+                    ),
+                )
+                state.apply_switch(record)
+                cumulative += gain
+                if stats is not None:
+                    stats.switches_tested += 1
+                if cumulative > best_cumulative + _EPS:
+                    best_cumulative = cumulative
+                    best_length = state.switches_applied
+
+            # Roll back past the best prefix (master-local state only).
+            state.rollback_to(best_length)
+            sides, f_cross, r_cross = state.snapshot()
+            if stats is not None:
+                stats.switches_applied += best_length
+                stats.prefetch_hits = buffer.stats.hits
+                stats.prefetch_misses = buffer.stats.misses
+            if best_length == 0:
+                break
+
+        if stats is not None:
+            stats.network = self.network.stats
+        return sides, f_cross, r_cross
+
+
+def distributed_maar(
+    graph: AugmentedSocialGraph,
+    cluster_config: Optional[ClusterConfig] = None,
+    maar_config: Optional[MAARConfig] = None,
+    stats: Optional[ClusterRunStats] = None,
+) -> Tuple[List[int], float, Optional[float]]:
+    """MAAR sweep on the cluster engine.
+
+    Mirrors :func:`repro.core.maar.solve_maar`'s sweep (rejection-init
+    partition, geometric ``k`` grid, lowest-acceptance-rate winner) and
+    returns ``(suspicious_nodes, acceptance_rate, best_k)``.
+    """
+    maar_config = maar_config or MAARConfig()
+    engine = DistributedKL(graph, cluster_config)
+    init_sides = [
+        SUSPICIOUS if graph.rej_in[u] else LEGITIMATE
+        for u in range(graph.num_nodes)
+    ]
+    best_sides: List[int] = []
+    best_key = (float("inf"), 0)
+    best_k: Optional[float] = None
+    for k in geometric_k_sequence(
+        maar_config.k_min, maar_config.k_factor, maar_config.k_steps
+    ):
+        sides, f_cross, r_cross = engine.run(k, init_sides, stats=stats)
+        suspicious = sum(sides)
+        size_ok = (
+            maar_config.min_suspicious
+            <= suspicious
+            <= maar_config.max_suspicious_fraction * graph.num_nodes
+        )
+        if not size_ok or suspicious >= graph.num_nodes or r_cross == 0:
+            continue
+        rate = acceptance_rate(f_cross, r_cross)
+        key = (rate, -r_cross)
+        if key < best_key:
+            best_key = key
+            best_sides = list(sides)
+            best_k = k
+    suspicious_nodes = [u for u, s in enumerate(best_sides) if s == SUSPICIOUS]
+    rate = best_key[0] if best_k is not None else 1.0
+    return suspicious_nodes, rate, best_k

@@ -1,0 +1,112 @@
+"""Worker nodes of the mini-cluster.
+
+A :class:`Worker` owns a set of dataset partitions (Section V: "we
+distribute the large social graph structure to the workers") and serves
+two kinds of requests from the master: run a task over a partition, and
+look up records by key (the per-node graph structure the KL engine
+pulls). Every response's size is charged to the network simulator by the
+caller.
+
+Workers can *fail* (:meth:`Worker.fail`), dropping everything they hold
+— partitions, caches, indexes. The substrate recovers the way Spark
+does: source partitions survive on replicas, and derived (cached) data
+is recomputed from lineage on the next access.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterable, List
+
+__all__ = ["Worker", "WorkerFailure"]
+
+
+class WorkerFailure(RuntimeError):
+    """Raised when a request reaches a failed worker."""
+
+
+class Worker:
+    """One simulated cluster worker holding in-memory partitions."""
+
+    def __init__(self, worker_id: int) -> None:
+        self.worker_id = worker_id
+        self.alive = True
+        #: partition id -> list of records
+        self.partitions: Dict[int, List[Any]] = {}
+        #: cached materializations of lazy datasets: (dataset id, partition id)
+        self.cache: Dict[tuple, List[Any]] = {}
+        #: key -> record indexes, built on demand for keyed lookups
+        self._indexes: Dict[int, Dict[Any, Any]] = {}
+        self.tasks_run = 0
+
+    # ------------------------------------------------------------------
+    # Failure injection
+    # ------------------------------------------------------------------
+    def fail(self) -> None:
+        """Crash this worker: all resident state is lost."""
+        self.alive = False
+        self.partitions.clear()
+        self.cache.clear()
+        self._indexes.clear()
+
+    def _check_alive(self) -> None:
+        if not self.alive:
+            raise WorkerFailure(f"worker {self.worker_id} is down")
+
+    # ------------------------------------------------------------------
+    # Storage
+    # ------------------------------------------------------------------
+    def store_partition(self, partition_id: int, records: List[Any]) -> None:
+        """Install a partition's records on this worker."""
+        self._check_alive()
+        self.partitions[partition_id] = records
+        self._indexes.pop(partition_id, None)
+
+    def has_partition(self, partition_id: int) -> bool:
+        return partition_id in self.partitions
+
+    def memory_records(self) -> int:
+        """Total records resident (partitions plus cache)."""
+        return sum(len(p) for p in self.partitions.values()) + sum(
+            len(p) for p in self.cache.values()
+        )
+
+    # ------------------------------------------------------------------
+    # Task execution
+    # ------------------------------------------------------------------
+    def run_task(
+        self, partition_id: int, task: Callable[[List[Any]], Any]
+    ) -> Any:
+        """Execute ``task`` over one resident partition."""
+        self._check_alive()
+        if partition_id not in self.partitions:
+            raise KeyError(
+                f"worker {self.worker_id} does not hold partition {partition_id}"
+            )
+        self.tasks_run += 1
+        return task(self.partitions[partition_id])
+
+    # ------------------------------------------------------------------
+    # Keyed lookup (used by the KL engine's prefetcher)
+    # ------------------------------------------------------------------
+    def build_index(
+        self, partition_id: int, key_fn: Callable[[Any], Any]
+    ) -> None:
+        """Index a partition's records by ``key_fn`` for O(1) lookup."""
+        self._check_alive()
+        if partition_id not in self.partitions:
+            raise KeyError(
+                f"worker {self.worker_id} does not hold partition {partition_id}"
+            )
+        self._indexes[partition_id] = {
+            key_fn(record): record for record in self.partitions[partition_id]
+        }
+
+    def lookup(self, partition_id: int, keys: Iterable[Any]) -> List[Any]:
+        """Fetch the records with the given keys from an indexed partition."""
+        self._check_alive()
+        index = self._indexes.get(partition_id)
+        if index is None:
+            raise KeyError(
+                f"partition {partition_id} on worker {self.worker_id} is not indexed"
+            )
+        return [index[key] for key in keys if key in index]

@@ -1,0 +1,96 @@
+"""Core of the reproduction: the Rejecto friend-spam detection system.
+
+Public surface:
+
+* :class:`AugmentedSocialGraph` — the social graph augmented with
+  directed social rejections (Section III-A).
+* :class:`Partition` and the objective helpers — MAAR cut accounting.
+* :func:`extended_kl` — the paper's extension of Kernighan-Lin to
+  rejection-augmented graphs (Algorithm 1).
+* :func:`solve_maar` — geometric ``k`` sweep approximating the Minimum
+  Aggregate Acceptance Rate cut (Theorem 1).
+* :class:`Rejecto` — the iterative detector (Section IV-E) with seed
+  support (Section IV-F).
+"""
+
+from .gains import BucketGainIndex, GainIndex, HeapGainIndex, make_gain_index
+from .graph import AugmentedSocialGraph, GraphError
+from .kl import KLConfig, KLStats, extended_kl
+from .maar import (
+    KCandidate,
+    MAARConfig,
+    MAARResult,
+    geometric_k_sequence,
+    initial_partition,
+    solve_maar,
+)
+from .objectives import (
+    LEGITIMATE,
+    SUSPICIOUS,
+    acceptance_rate,
+    cross_friendships,
+    cross_rejections_into_suspicious,
+    cut_counts,
+    friends_to_rejections_ratio,
+    linear_objective,
+)
+from .multilevel import (
+    MultilevelConfig,
+    MultilevelResult,
+    solve_maar_multilevel,
+)
+from .partition import Partition
+from .rejecto import DetectedGroup, Rejecto, RejectoConfig, RejectoResult
+from .forensics import DetectionForensics, GroupForensics, analyze_detection
+from .responses import Action, ResponsePlan, ResponsePolicy
+from .seeds import community_seeds, degree_stratified_seeds, random_seeds
+from .sharding import ShardedDetectionResult, detect_over_shards
+from .validation import GraphValidationError, assert_valid_graph, validate_graph
+
+__all__ = [
+    "AugmentedSocialGraph",
+    "GraphError",
+    "Partition",
+    "LEGITIMATE",
+    "SUSPICIOUS",
+    "acceptance_rate",
+    "cross_friendships",
+    "cross_rejections_into_suspicious",
+    "cut_counts",
+    "friends_to_rejections_ratio",
+    "linear_objective",
+    "GainIndex",
+    "BucketGainIndex",
+    "HeapGainIndex",
+    "make_gain_index",
+    "KLConfig",
+    "KLStats",
+    "extended_kl",
+    "MAARConfig",
+    "MAARResult",
+    "KCandidate",
+    "geometric_k_sequence",
+    "initial_partition",
+    "solve_maar",
+    "Rejecto",
+    "RejectoConfig",
+    "RejectoResult",
+    "DetectedGroup",
+    "ShardedDetectionResult",
+    "detect_over_shards",
+    "Action",
+    "ResponsePolicy",
+    "ResponsePlan",
+    "validate_graph",
+    "assert_valid_graph",
+    "GraphValidationError",
+    "DetectionForensics",
+    "GroupForensics",
+    "analyze_detection",
+    "random_seeds",
+    "degree_stratified_seeds",
+    "community_seeds",
+    "MultilevelConfig",
+    "MultilevelResult",
+    "solve_maar_multilevel",
+]

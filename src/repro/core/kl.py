@@ -1,0 +1,206 @@
+"""Extended Kernighan-Lin search over rejection-augmented social graphs.
+
+This module implements Algorithm 1 of the paper (Section IV-D). The
+classic KL/FM bisection minimizes the number of cross-part edges of an
+undirected graph; Rejecto's extension differs in three ways:
+
+1. **Weighted, mixed edges.** Friendship edges carry weight ``+1`` and
+   rejection edges carry weight ``−k``, so the search minimizes the
+   linearized MAAR objective ``W(U) = |F(Ū,U)| − k·|R⃗⟨Ū,U⟩|``.
+2. **Single-node switching.** The paper drops KL's node-*pair*
+   interchange because the sizes of the spammer and legitimate regions
+   are unknown a priori; part sizes must be free to drift.
+3. **Directional rejection accounting.** Only rejections cast by the
+   legitimate side onto the suspicious side enter the objective, so the
+   gain of a switch is asymmetric in the rejection edges' direction.
+
+Each *pass* tentatively switches every unlocked node exactly once, in
+greedy max-gain order (a Fiduccia-Mattheyses-style bucket list yields the
+max in O(1)); negative-gain switches are still performed to climb out of
+local minima. The pass then keeps the prefix of switches with the highest
+cumulative gain and rolls the rest back. Passes repeat until no prefix
+improves the objective.
+
+Seed nodes (Section IV-F) are *locked*: they are pre-placed on their
+known side and never enter the gain index, which prunes the misleading
+low-ratio cuts inside the legitimate region from the search space.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from .gains import make_gain_index
+from .graph import AugmentedSocialGraph
+from .partition import Partition
+
+__all__ = ["KLConfig", "KLStats", "extended_kl"]
+
+_EPS = 1e-9
+
+
+@dataclass
+class KLConfig:
+    """Tuning knobs for the extended KL search.
+
+    Attributes
+    ----------
+    gain_index:
+        ``"bucket"`` (FM bucket list), ``"heap"`` (lazy-deletion heap) or
+        ``"auto"`` (bucket when ``k`` sits on the ``1/resolution`` grid).
+    resolution:
+        Grid denominator for the bucket list. With the default geometric
+        ``k`` sequence (k = 1/8 · 2^i) every gain is a multiple of 1/8.
+    max_passes:
+        Upper bound on improvement passes. KL converges in a handful of
+        passes in practice [21]; the bound only guards pathologies.
+    stall_limit:
+        If set, a pass stops tentatively switching once this many
+        consecutive switches failed to improve the best prefix gain.
+        ``None`` performs the full pass (the paper's behaviour); a finite
+        limit trades a little cut quality for a large speedup on big
+        graphs (see the ablation benchmark).
+    """
+
+    gain_index: str = "auto"
+    resolution: int = 8
+    max_passes: int = 30
+    stall_limit: Optional[int] = None
+
+
+@dataclass
+class KLStats:
+    """Diagnostics of one :func:`extended_kl` run."""
+
+    passes: int = 0
+    switches_applied: int = 0
+    switches_tested: int = 0
+    objective_history: List[float] = field(default_factory=list)
+
+
+def _initial_gains(partition: Partition, k: float, locked: Sequence[bool]):
+    """Per-node switch gains for all unlocked nodes."""
+    return [
+        (u, partition.switch_gain(u, k))
+        for u in range(partition.graph.num_nodes)
+        if not locked[u]
+    ]
+
+
+def _max_abs_gain(graph: AugmentedSocialGraph, k: float) -> float:
+    """A lifetime bound on ``|gain(u)|``: each incident friendship edge
+    contributes at most 1 and each incident rejection edge at most k."""
+    bound = 0.0
+    for u in range(graph.num_nodes):
+        weight = len(graph.friends[u]) + k * (
+            len(graph.rej_out[u]) + len(graph.rej_in[u])
+        )
+        if weight > bound:
+            bound = weight
+    return bound
+
+
+def extended_kl(
+    graph: AugmentedSocialGraph,
+    k: float,
+    initial: Partition,
+    locked: Optional[Sequence[bool]] = None,
+    config: Optional[KLConfig] = None,
+    stats: Optional[KLStats] = None,
+) -> Partition:
+    """Minimize ``|F(Ū,U)| − k·|R⃗⟨Ū,U⟩|`` from the given initial partition.
+
+    Parameters
+    ----------
+    graph:
+        The rejection-augmented social graph.
+    k:
+        The rejection weight of the linearized objective (positive).
+    initial:
+        Starting partition; it is copied, not mutated.
+    locked:
+        Optional per-node flags; locked nodes (seeds) never switch.
+    config:
+        Search configuration; defaults to :class:`KLConfig`.
+    stats:
+        Optional diagnostics accumulator.
+
+    Returns
+    -------
+    Partition
+        The improved partition.
+    """
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")
+    config = config or KLConfig()
+    n = graph.num_nodes
+    if locked is None:
+        locked = [False] * n
+    elif len(locked) != n:
+        raise ValueError(f"locked has length {len(locked)}, expected {n}")
+
+    partition = initial.copy()
+    max_abs = _max_abs_gain(graph, k)
+    sides = partition.sides
+
+    for _ in range(config.max_passes):
+        if stats is not None:
+            stats.passes += 1
+            stats.objective_history.append(partition.objective(k))
+
+        index = make_gain_index(
+            config.gain_index, n, max_abs, k, resolution=config.resolution
+        )
+        for u, gain in _initial_gains(partition, k, locked):
+            index.insert(u, gain)
+
+        # Tentatively switch nodes in greedy max-gain order, tracking the
+        # best cumulative-gain prefix of the switch sequence.
+        sequence: List[int] = []
+        cumulative = 0.0
+        best_cumulative = 0.0
+        best_length = 0
+        stall = 0
+        while True:
+            if config.stall_limit is not None and stall >= config.stall_limit:
+                break
+            popped = index.pop_max()
+            if popped is None:
+                break
+            u, gain = popped
+            partition.switch(u)
+            sequence.append(u)
+            cumulative += gain
+            if stats is not None:
+                stats.switches_tested += 1
+            if cumulative > best_cumulative + _EPS:
+                best_cumulative = cumulative
+                best_length = len(sequence)
+                stall = 0
+            else:
+                stall += 1
+
+            # O(1) gain updates for u's still-indexed neighbours. u's
+            # previous side determines every delta's sign.
+            prev_side = 1 - sides[u]
+            for v in graph.friends[u]:
+                if v in index:
+                    index.adjust(v, 2.0 if sides[v] == prev_side else -2.0)
+            rej_sign = k * (1 - 2 * prev_side)
+            for v in graph.rej_out[u]:
+                if v in index:
+                    index.adjust(v, (2 * sides[v] - 1) * rej_sign)
+            for w in graph.rej_in[u]:
+                if w in index:
+                    index.adjust(w, (2 * sides[w] - 1) * rej_sign)
+
+        # Roll back every switch beyond the best prefix.
+        for u in reversed(sequence[best_length:]):
+            partition.switch(u)
+        if stats is not None:
+            stats.switches_applied += best_length
+        if best_length == 0:
+            break
+
+    return partition

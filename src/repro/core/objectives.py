@@ -1,0 +1,112 @@
+"""Cut accounting for the MAAR objective.
+
+Section III-A of the paper defines, for disjoint user sets ``X`` and ``Y``:
+
+* the group friendship set ``F(X, Y)`` — friendships straddling the two
+  sets (symmetric);
+* the group rejection set ``R⃗⟨X, Y⟩`` — rejections cast *by* users in
+  ``X`` *onto* users in ``Y`` (directional);
+* the aggregate acceptance rate
+  ``AC⟨X, Y⟩ = |F(Y, X)| / (|F(Y, X)| + |R⃗⟨Y, X⟩|)`` — the fraction of
+  the friend requests from ``X`` to ``Y`` that were accepted.
+
+Throughout this package, a bipartition assigns side ``1`` to the candidate
+*suspicious* region ``U`` and side ``0`` to the legitimate region ``Ū``.
+The MAAR cut minimizes ``AC⟨U, Ū⟩``, whose numerator counts cross-region
+friendships and whose rejection term counts only the rejections cast by
+side 0 onto side 1 (``R⃗⟨Ū, U⟩``) — rejections *among* the suspicious
+region, or cast by it, never enter the objective. That asymmetry is what
+makes the scheme collusion-resistant.
+
+These functions recompute the counters from scratch; they are the ground
+truth against which the incremental counters of
+:class:`repro.core.partition.Partition` are property-tested.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from .graph import AugmentedSocialGraph
+
+__all__ = [
+    "cross_friendships",
+    "cross_rejections_into_suspicious",
+    "cut_counts",
+    "acceptance_rate",
+    "friends_to_rejections_ratio",
+    "linear_objective",
+    "SUSPICIOUS",
+    "LEGITIMATE",
+]
+
+#: Side label of the candidate spammer region ``U``.
+SUSPICIOUS = 1
+#: Side label of the legitimate region ``Ū``.
+LEGITIMATE = 0
+
+
+def cross_friendships(graph: AugmentedSocialGraph, sides: Sequence[int]) -> int:
+    """``|F(Ū, U)|`` — friendships crossing the partition (direction-free)."""
+    return sum(1 for u, v in graph.friendships() if sides[u] != sides[v])
+
+
+def cross_rejections_into_suspicious(
+    graph: AugmentedSocialGraph, sides: Sequence[int]
+) -> int:
+    """``|R⃗⟨Ū, U⟩|`` — rejections cast by side 0 onto side 1.
+
+    Only these rejections appear in the MAAR objective: a rejection is
+    counted iff the rejecter sits in the legitimate region and the
+    rejected request sender sits in the suspicious region.
+    """
+    return sum(
+        1
+        for rejecter, sender in graph.rejections()
+        if sides[rejecter] == LEGITIMATE and sides[sender] == SUSPICIOUS
+    )
+
+
+def cut_counts(graph: AugmentedSocialGraph, sides: Sequence[int]) -> Tuple[int, int]:
+    """``(|F(Ū, U)|, |R⃗⟨Ū, U⟩|)`` computed from scratch."""
+    return (
+        cross_friendships(graph, sides),
+        cross_rejections_into_suspicious(graph, sides),
+    )
+
+
+def acceptance_rate(f_cross: int, r_cross: int) -> float:
+    """Aggregate acceptance rate ``AC⟨U, Ū⟩ = F / (F + R)``.
+
+    A cut with no cross requests at all (``F + R == 0``) carries no
+    evidence of spamming, so it is treated as fully accepted (rate 1.0),
+    which makes it the *least* suspicious possible cut.
+    """
+    total = f_cross + r_cross
+    if total == 0:
+        return 1.0
+    return f_cross / total
+
+
+def friends_to_rejections_ratio(f_cross: int, r_cross: int) -> float:
+    """Aggregate friends-to-rejections ratio ``|F(Ū,U)| / |R⃗⟨Ū,U⟩|``.
+
+    Minimizing this ratio is equivalent to minimizing the aggregate
+    acceptance rate (Section IV-B). Returns ``inf`` when there are no
+    cross rejections, mirroring :func:`acceptance_rate`'s treatment of
+    evidence-free cuts.
+    """
+    if r_cross == 0:
+        return float("inf")
+    return f_cross / r_cross
+
+
+def linear_objective(f_cross: int, r_cross: int, k: float) -> float:
+    """The linearized objective ``W(U) = |F(Ū,U)| − k·|R⃗⟨Ū,U⟩|``.
+
+    Theorem 1: at ``k = k*`` (the optimal friends-to-rejections ratio),
+    the MAAR cut is exactly the minimizer of this linear objective; the
+    extended KL search of :mod:`repro.core.kl` minimizes it for each
+    ``k`` on a geometric grid.
+    """
+    return f_cross - k * r_cross

@@ -1,0 +1,95 @@
+"""Graduated responses to detected accounts (Section VII).
+
+"To prevent detected accounts from sending out friend spam in the
+future, an OSN provider can take actions, such as sending CAPTCHA
+challenges, rate-limiting their online activities, or even suspending
+the accounts. The actions taken before account suspension allow certain
+degree of tolerance to the false positives (e.g., OSN creepers) in the
+detection system."
+
+:class:`ResponsePolicy` turns a detection outcome into per-account
+actions graded by evidence strength: groups whose cut acceptance rate is
+very low (overwhelming rejection evidence) earn suspension; borderline
+groups get reversible friction (rate limits, CAPTCHAs) that a falsely
+flagged real user can clear.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List
+
+from .rejecto import RejectoResult
+
+__all__ = ["Action", "ResponsePolicy", "ResponsePlan"]
+
+
+class Action(enum.Enum):
+    """Enforcement actions, weakest to strongest."""
+
+    CAPTCHA = "captcha"
+    RATE_LIMIT = "rate_limit"
+    SUSPEND = "suspend"
+
+
+@dataclass(frozen=True)
+class ResponsePolicy:
+    """Acceptance-rate thresholds mapping evidence to actions.
+
+    A detected group's aggregate acceptance rate *is* its evidence
+    strength: the lower the rate, the more of the group's requests were
+    rejected. Groups at or below ``suspend_below`` are suspended; above
+    that but at or below ``rate_limit_below`` are rate-limited; all
+    remaining detections get a CAPTCHA challenge — the reversible floor
+    every flagged account receives.
+    """
+
+    suspend_below: float = 0.2
+    rate_limit_below: float = 0.4
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.suspend_below <= self.rate_limit_below <= 1:
+            raise ValueError(
+                "thresholds must satisfy 0 <= suspend_below <= "
+                f"rate_limit_below <= 1, got {self.suspend_below}, "
+                f"{self.rate_limit_below}"
+            )
+
+    def action_for_rate(self, acceptance_rate: float) -> Action:
+        """Action for one group's aggregate acceptance rate."""
+        if acceptance_rate <= self.suspend_below:
+            return Action.SUSPEND
+        if acceptance_rate <= self.rate_limit_below:
+            return Action.RATE_LIMIT
+        return Action.CAPTCHA
+
+    def plan(self, result: RejectoResult) -> "ResponsePlan":
+        """Per-account actions for a whole detection outcome."""
+        actions: Dict[int, Action] = {}
+        for group in result.groups:
+            action = self.action_for_rate(group.acceptance_rate)
+            for account in group.members:
+                actions[account] = action
+        return ResponsePlan(actions=actions)
+
+
+@dataclass
+class ResponsePlan:
+    """The per-account enforcement decisions."""
+
+    actions: Dict[int, Action]
+
+    def accounts_for(self, action: Action) -> List[int]:
+        """Accounts assigned the given action, in id order."""
+        return sorted(u for u, a in self.actions.items() if a is action)
+
+    def counts(self) -> Dict[Action, int]:
+        """How many accounts each action applies to."""
+        counts = {action: 0 for action in Action}
+        for action in self.actions.values():
+            counts[action] += 1
+        return counts
+
+    def __len__(self) -> int:
+        return len(self.actions)

@@ -1,0 +1,99 @@
+"""Seed-selection strategies (Section IV-F).
+
+Rejecto pre-places manually inspected users to prune misleading cuts
+from the KL search space: "By distributing seeds over the entire graph,
+Rejecto can effectively rule out those problematic legitimate-user
+cuts... To ensure sufficient seed coverage, one could employ the
+community-based seed selection as in SybilRank."
+
+Three selectors, from weakest to strongest coverage guarantees:
+
+* :func:`random_seeds` — uniform sampling (the paper's default).
+* :func:`degree_stratified_seeds` — one slice per degree quantile, so
+  both hubs and the periphery are pinned.
+* :func:`community_seeds` — round-robin over known communities (the
+  SybilRank recipe the paper recommends).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence
+
+from .graph import AugmentedSocialGraph
+
+__all__ = ["random_seeds", "degree_stratified_seeds", "community_seeds"]
+
+
+def random_seeds(
+    candidates: Sequence[int],
+    count: int,
+    rng: Optional[random.Random] = None,
+) -> List[int]:
+    """Uniformly sampled seeds from the inspected-candidates pool."""
+    if count < 0:
+        raise ValueError(f"count must be >= 0, got {count}")
+    rng = rng or random.Random(0)
+    return sorted(rng.sample(list(candidates), min(count, len(candidates))))
+
+
+def degree_stratified_seeds(
+    graph: AugmentedSocialGraph,
+    candidates: Sequence[int],
+    count: int,
+    rng: Optional[random.Random] = None,
+    strata: int = 4,
+) -> List[int]:
+    """Seeds spread across friendship-degree quantiles.
+
+    Candidates are sorted by degree and split into ``strata`` contiguous
+    bands; seeds are drawn round-robin across the bands, so low-degree
+    peripheral users — precisely the ones misleading legitimate-region
+    cuts tend to capture — get pinned alongside hubs.
+    """
+    if count < 0:
+        raise ValueError(f"count must be >= 0, got {count}")
+    if strata < 1:
+        raise ValueError(f"strata must be >= 1, got {strata}")
+    rng = rng or random.Random(0)
+    ordered = sorted(candidates, key=lambda u: (len(graph.friends[u]), u))
+    if not ordered or not count:
+        return []
+    bands: List[List[int]] = []
+    band_size = max(1, len(ordered) // strata)
+    for start in range(0, len(ordered), band_size):
+        bands.append(ordered[start : start + band_size])
+    for band in bands:
+        rng.shuffle(band)
+    seeds: List[int] = []
+    index = 0
+    while len(seeds) < min(count, len(ordered)):
+        band = bands[index % len(bands)]
+        if band:
+            seeds.append(band.pop())
+        index += 1
+    return sorted(seeds)
+
+
+def community_seeds(
+    communities: Sequence[int],
+    count: int,
+    rng: Optional[random.Random] = None,
+) -> List[int]:
+    """Community-based selection [15]: seeds spread round-robin over the
+    known community labels (``communities[u]`` is node ``u``'s label)."""
+    if count < 0:
+        raise ValueError(f"count must be >= 0, got {count}")
+    rng = rng or random.Random(0)
+    by_community: Dict[int, List[int]] = {}
+    for node, community in enumerate(communities):
+        by_community.setdefault(community, []).append(node)
+    groups = list(by_community.values())
+    seeds: List[int] = []
+    index = 0
+    while len(seeds) < count and any(groups):
+        group = groups[index % len(groups)]
+        if group:
+            seeds.append(group.pop(rng.randrange(len(group))))
+        index += 1
+    return sorted(seeds)

@@ -1,0 +1,114 @@
+"""Structural validation of augmented social graphs.
+
+Loaded or hand-built graphs (e.g. via :mod:`repro.io` or networkx
+interop) can carry subtle inconsistencies; :func:`validate_graph` checks
+every representation invariant the detection pipeline relies on and
+returns human-readable findings. Used by the operator CLI before
+detection, and handy in tests for anything that mutates adjacency
+directly.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .graph import AugmentedSocialGraph
+
+__all__ = ["validate_graph", "assert_valid_graph", "GraphValidationError"]
+
+
+class GraphValidationError(ValueError):
+    """Raised by :func:`assert_valid_graph` on an invalid graph."""
+
+
+def validate_graph(graph: AugmentedSocialGraph) -> List[str]:
+    """Check representation invariants; returns a list of problems
+    (empty = valid).
+
+    Checked invariants:
+
+    * adjacency lists stay within ``[0, num_nodes)`` and carry no
+      self-loops or duplicates;
+    * friendship adjacency is symmetric and consistent with the
+      friendship edge set;
+    * rejection out/in adjacency are mutually consistent and match the
+      rejection edge set;
+    * edge-set sizes match the adjacency totals.
+    """
+    problems: List[str] = []
+    n = graph.num_nodes
+
+    def check_ids(kind: str, u: int, adjacency: List[int]) -> None:
+        for v in adjacency:
+            if not 0 <= v < n:
+                problems.append(f"{kind}[{u}] references out-of-range node {v}")
+            if v == u:
+                problems.append(f"{kind}[{u}] contains a self-loop")
+        if len(set(adjacency)) != len(adjacency):
+            problems.append(f"{kind}[{u}] contains duplicates")
+
+    for u in range(n):
+        check_ids("friends", u, graph.friends[u])
+        check_ids("rej_out", u, graph.rej_out[u])
+        check_ids("rej_in", u, graph.rej_in[u])
+
+    # Friendship symmetry and edge-set agreement.
+    adjacency_pairs = set()
+    for u in range(n):
+        for v in graph.friends[u]:
+            if 0 <= v < n and u not in graph.friends[v]:
+                problems.append(f"friendship ({u}, {v}) is not symmetric")
+            adjacency_pairs.add((min(u, v), max(u, v)))
+    edge_pairs = {tuple(sorted(e)) for e in graph.friendships()}
+    if adjacency_pairs != edge_pairs:
+        missing = edge_pairs - adjacency_pairs
+        extra = adjacency_pairs - edge_pairs
+        if missing:
+            problems.append(f"friendship set has edges absent from adjacency: {sorted(missing)[:5]}")
+        if extra:
+            problems.append(f"adjacency has friendships absent from edge set: {sorted(extra)[:5]}")
+
+    # Rejection duality and edge-set agreement.
+    out_pairs = set()
+    for u in range(n):
+        for v in graph.rej_out[u]:
+            if 0 <= v < n and u not in graph.rej_in[v]:
+                problems.append(f"rejection ⟨{u}, {v}⟩ missing from rej_in[{v}]")
+            out_pairs.add((u, v))
+    in_pairs = set()
+    for v in range(n):
+        for u in graph.rej_in[v]:
+            if 0 <= u < n and v not in graph.rej_out[u]:
+                problems.append(f"rejection ⟨{u}, {v}⟩ missing from rej_out[{u}]")
+            in_pairs.add((u, v))
+    edge_rejections = set(graph.rejections())
+    if out_pairs != edge_rejections:
+        problems.append(
+            "rejection edge set disagrees with rej_out adjacency "
+            f"({len(out_pairs ^ edge_rejections)} differing edges)"
+        )
+    if in_pairs != edge_rejections:
+        problems.append(
+            "rejection edge set disagrees with rej_in adjacency "
+            f"({len(in_pairs ^ edge_rejections)} differing edges)"
+        )
+
+    if len(edge_pairs) != graph.num_friendships:
+        problems.append(
+            f"num_friendships={graph.num_friendships} but edge set has {len(edge_pairs)}"
+        )
+    if len(edge_rejections) != graph.num_rejections:
+        problems.append(
+            f"num_rejections={graph.num_rejections} but edge set has {len(edge_rejections)}"
+        )
+    return problems
+
+
+def assert_valid_graph(graph: AugmentedSocialGraph) -> None:
+    """Raise :class:`GraphValidationError` listing any invariant breaks."""
+    problems = validate_graph(graph)
+    if problems:
+        summary = "; ".join(problems[:5])
+        if len(problems) > 5:
+            summary += f" (+{len(problems) - 5} more)"
+        raise GraphValidationError(f"invalid graph: {summary}")

@@ -1,0 +1,90 @@
+"""Experiment harness: one runner per table and figure of the paper.
+
+* Table I — :func:`datasets_table`
+* Fig. 1 — :func:`motivation_study` (synthetic substitute, Section II)
+* Figs. 9-15 — the sweeps in :mod:`repro.experiments.sweeps`
+* Fig. 16 — :func:`defense_in_depth`
+* Figs. 17-18 — :func:`appendix_sensitivity` / :func:`appendix_strategies`
+* Table II — :func:`scaling_study`
+"""
+
+from .datasets_table import DatasetRow, DatasetTableResult, datasets_table
+from .defense_in_depth import (
+    DefenseInDepthConfig,
+    DefenseInDepthResult,
+    defense_in_depth,
+)
+from .motivation import (
+    FriendAttributeResult,
+    MotivationResult,
+    friend_attribute_study,
+    motivation_study,
+)
+from .runner import (
+    SchemeSetup,
+    evaluate_schemes,
+    run_naive_filter,
+    run_rejecto,
+    run_votetrust,
+)
+from .scaling import ScalingConfig, ScalingResult, ScalingRow, scaling_study
+from .sweeps import (
+    APPENDIX_DATASETS,
+    SweepConfig,
+    SweepResult,
+    appendix_sensitivity,
+    appendix_strategies,
+    collusion_sweep,
+    legit_rejection_sweep,
+    legit_victim_rejection_sweep,
+    request_volume_sweep,
+    self_rejection_sweep,
+    spam_rejection_sweep,
+    stealth_sweep,
+)
+from .plot import ascii_chart, render_sweep_chart
+from .report import EXPERIMENT_NAMES, ReportConfig, generate_report, write_report
+from .tables import format_kv, format_series, format_table
+
+__all__ = [
+    "SchemeSetup",
+    "evaluate_schemes",
+    "run_rejecto",
+    "run_votetrust",
+    "run_naive_filter",
+    "SweepConfig",
+    "SweepResult",
+    "request_volume_sweep",
+    "stealth_sweep",
+    "spam_rejection_sweep",
+    "legit_rejection_sweep",
+    "collusion_sweep",
+    "self_rejection_sweep",
+    "legit_victim_rejection_sweep",
+    "appendix_sensitivity",
+    "appendix_strategies",
+    "APPENDIX_DATASETS",
+    "DefenseInDepthConfig",
+    "DefenseInDepthResult",
+    "defense_in_depth",
+    "ScalingConfig",
+    "ScalingResult",
+    "ScalingRow",
+    "scaling_study",
+    "DatasetRow",
+    "DatasetTableResult",
+    "datasets_table",
+    "MotivationResult",
+    "motivation_study",
+    "FriendAttributeResult",
+    "friend_attribute_study",
+    "format_table",
+    "format_series",
+    "format_kv",
+    "ascii_chart",
+    "render_sweep_chart",
+    "ReportConfig",
+    "generate_report",
+    "write_report",
+    "EXPERIMENT_NAMES",
+]

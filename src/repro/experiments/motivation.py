@@ -1,0 +1,153 @@
+"""Figure 1 (Section II): friends vs pending requests on fake accounts.
+
+The original figure plots, per purchased account, the number of
+delivered friends and the number of pending (ignored/rejected) requests.
+The accounts themselves are irreproducible, so the series here comes
+from the calibrated generative model of
+:mod:`repro.attacks.accounts` (DESIGN.md, substitution 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import random
+
+from ..attacks.accounts import (
+    AccountModelConfig,
+    FriendProfileModelConfig,
+    sample_friend_profiles,
+    sample_purchased_accounts,
+)
+from ..metrics.distributions import cdf_at
+from .tables import format_table, format_series
+
+__all__ = [
+    "MotivationResult",
+    "motivation_study",
+    "FriendAttributeResult",
+    "friend_attribute_study",
+]
+
+
+@dataclass
+class MotivationResult:
+    """The Figure 1 series, plus the paper's aggregate comparison."""
+
+    friends: List[int]
+    pending: List[int]
+
+    @property
+    def total_friends(self) -> int:
+        return sum(self.friends)
+
+    @property
+    def total_pending(self) -> int:
+        return sum(self.pending)
+
+    @property
+    def pending_fractions(self) -> List[float]:
+        return [
+            p / (f + p) if f + p else 0.0
+            for f, p in zip(self.friends, self.pending)
+        ]
+
+    def render(self) -> str:
+        table = format_series(
+            "account",
+            list(range(len(self.friends))),
+            {
+                "friends": [float(f) for f in self.friends],
+                "pending": [float(p) for p in self.pending],
+            },
+            title="Fig. 1 — friends and pending requests per fake account (synthetic)",
+        )
+        summary = (
+            f"\ntotals: {self.total_friends} friends, {self.total_pending} pending"
+            f" (paper: 2804 friends, 2065 pending over 43 accounts)"
+        )
+        return table + summary
+
+
+def motivation_study(
+    config: Optional[AccountModelConfig] = None, seed: int = 0
+) -> MotivationResult:
+    """Regenerate the Figure 1 series from the account model."""
+    accounts = sample_purchased_accounts(config, rng=random.Random(seed))
+    return MotivationResult(
+        friends=[a.friends for a in accounts],
+        pending=[a.pending_requests for a in accounts],
+    )
+
+
+@dataclass
+class FriendAttributeResult:
+    """CDF checkpoints of the friends' attributes (Figures 3-5).
+
+    ``cdf_rows`` holds, per attribute, the CDF evaluated at fixed
+    thresholds — the textual equivalent of the paper's CDF plots.
+    """
+
+    num_friends: int
+    degree_over_1000: int
+    active_fraction: float
+    cdf_rows: List[tuple]
+
+    def render(self) -> str:
+        table = format_table(
+            ["attribute", "P<=10", "P<=50", "P<=100", "P<=500", "P<=1000"],
+            self.cdf_rows,
+            title=(
+                "Figs. 3-5 — CDFs of the purchased accounts' friends "
+                "(synthetic)"
+            ),
+        )
+        summary = (
+            f"\n{self.num_friends} friends; {self.degree_over_1000} with "
+            f"degree > 1000 (the paper observes such accounts); "
+            f"{self.active_fraction:.0%} active (posted or uploaded)"
+        )
+        return table + summary
+
+
+def friend_attribute_study(
+    num_friends: int = 2804,
+    config: Optional[FriendProfileModelConfig] = None,
+    seed: int = 0,
+) -> FriendAttributeResult:
+    """Regenerate the Figures 3-5 CDF checkpoints.
+
+    The paper plots, over its purchased accounts' 2804 friends, CDFs of
+    social-graph degree (Fig. 3), wall posts with their comments/likes
+    (Fig. 4), and photos with their comments/likes (Fig. 5). The friend
+    population is synthetic (DESIGN.md, substitution 3); what carries
+    over is the qualitative picture: heavy-tailed degrees including
+    >1000-degree accounts, and a largely active friend population.
+    """
+    profiles = sample_friend_profiles(
+        num_friends, config, rng=random.Random(seed)
+    )
+    attributes = {
+        "degree (Fig. 3)": [p.degree for p in profiles],
+        "posts (Fig. 4)": [p.posts for p in profiles],
+        "comments on posts": [p.post_comments for p in profiles],
+        "likes on posts": [p.post_likes for p in profiles],
+        "photos (Fig. 5)": [p.photos for p in profiles],
+        "comments on photos": [p.photo_comments for p in profiles],
+        "likes on photos": [p.photo_likes for p in profiles],
+    }
+    thresholds = (10, 50, 100, 500, 1000)
+    cdf_rows = [
+        tuple([name] + [cdf_at(values, t) for t in thresholds])
+        for name, values in attributes.items()
+    ]
+    return FriendAttributeResult(
+        num_friends=num_friends,
+        degree_over_1000=sum(1 for p in profiles if p.degree > 1000),
+        active_fraction=sum(
+            1 for p in profiles if p.posts or p.photos
+        )
+        / num_friends,
+        cdf_rows=cdf_rows,
+    )

@@ -1,0 +1,110 @@
+"""ASCII line charts for figure series.
+
+The paper's figures are precision/recall curves; the CLI renders them as
+tables by default, but a terminal chart makes the *shapes* — flat
+Rejecto lines, VoteTrust slopes, the Fig. 15 cliff — immediately
+visible. Pure text, no plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+__all__ = ["ascii_chart", "render_sweep_chart"]
+
+_MARKERS = "*o+x#@%&"
+
+
+def ascii_chart(
+    x_values: Sequence[float],
+    series: Dict[str, Sequence[float]],
+    width: int = 60,
+    height: int = 16,
+    y_min: float = 0.0,
+    y_max: float = 1.0,
+    x_label: str = "",
+    title: Optional[str] = None,
+) -> str:
+    """Render named series as an ASCII chart.
+
+    Each series gets a marker character; points are plotted on a
+    ``width x height`` grid spanning ``[min(x), max(x)]`` by
+    ``[y_min, y_max]``. Overlapping points show the *later* series'
+    marker. Values outside the y range are clamped.
+    """
+    if not x_values:
+        raise ValueError("x_values is empty")
+    if not series:
+        raise ValueError("series is empty")
+    for name, values in series.items():
+        if len(values) != len(x_values):
+            raise ValueError(
+                f"series {name!r} has {len(values)} points, "
+                f"expected {len(x_values)}"
+            )
+    if y_max <= y_min:
+        raise ValueError("y_max must exceed y_min")
+    if width < 8 or height < 4:
+        raise ValueError("chart must be at least 8x4")
+
+    x_lo, x_hi = min(x_values), max(x_values)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = y_max - y_min
+    grid = [[" "] * width for _ in range(height)]
+
+    def column(x: float) -> int:
+        return min(width - 1, int((x - x_lo) / x_span * (width - 1) + 0.5))
+
+    def row(y: float) -> int:
+        clamped = min(y_max, max(y_min, y))
+        # Row 0 is the top of the chart.
+        return min(
+            height - 1,
+            int((y_max - clamped) / y_span * (height - 1) + 0.5),
+        )
+
+    for index, (name, values) in enumerate(series.items()):
+        marker = _MARKERS[index % len(_MARKERS)]
+        for x, y in zip(x_values, values):
+            grid[row(y)][column(x)] = marker
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    label_width = max(len(f"{y_max:.2f}"), len(f"{y_min:.2f}"))
+    for r, cells in enumerate(grid):
+        if r == 0:
+            label = f"{y_max:.2f}".rjust(label_width)
+        elif r == height - 1:
+            label = f"{y_min:.2f}".rjust(label_width)
+        else:
+            label = " " * label_width
+        lines.append(f"{label} |{''.join(cells)}")
+    axis = " " * label_width + " +" + "-" * width
+    lines.append(axis)
+    x_left = f"{x_lo:g}"
+    x_right = f"{x_hi:g}"
+    padding = width - len(x_left) - len(x_right)
+    lines.append(
+        " " * (label_width + 2) + x_left + " " * max(1, padding) + x_right
+    )
+    if x_label:
+        lines.append(" " * (label_width + 2) + x_label)
+    legend = "   ".join(
+        f"{_MARKERS[i % len(_MARKERS)]} {name}"
+        for i, name in enumerate(series)
+    )
+    lines.append(" " * (label_width + 2) + legend)
+    return "\n".join(lines)
+
+
+def render_sweep_chart(sweep, width: int = 60, height: int = 16) -> str:
+    """Chart a :class:`repro.experiments.sweeps.SweepResult`."""
+    return ascii_chart(
+        sweep.x_values,
+        sweep.series,
+        width=width,
+        height=height,
+        x_label=sweep.x_label,
+        title=sweep.figure,
+    )

@@ -1,0 +1,139 @@
+"""One-shot results report: every experiment, one markdown document.
+
+``rejecto report --out results.md`` regenerates the evaluation and
+writes a self-contained markdown file — the machine-written counterpart
+of EXPERIMENTS.md, with this machine's actual numbers. Individual
+experiments can be cherry-picked via ``include``.
+"""
+
+from __future__ import annotations
+
+import platform
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+from .datasets_table import datasets_table
+from .defense_in_depth import DefenseInDepthConfig, defense_in_depth
+from .motivation import friend_attribute_study, motivation_study
+from .scaling import ScalingConfig, scaling_study
+from .sweeps import (
+    SweepConfig,
+    collusion_sweep,
+    legit_rejection_sweep,
+    legit_victim_rejection_sweep,
+    request_volume_sweep,
+    self_rejection_sweep,
+    spam_rejection_sweep,
+    stealth_sweep,
+)
+
+__all__ = ["ReportConfig", "generate_report", "write_report", "EXPERIMENT_NAMES"]
+
+#: Experiments the report can include, in presentation order.
+EXPERIMENT_NAMES = [
+    "table1",
+    "fig1",
+    "fig3-5",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+    "fig15",
+    "fig16",
+    "table2",
+]
+
+
+@dataclass(frozen=True)
+class ReportConfig:
+    """Report scope and scale.
+
+    ``quick`` shrinks every workload for a minutes-long full run;
+    ``include`` selects a subset of :data:`EXPERIMENT_NAMES`.
+    """
+
+    quick: bool = False
+    include: Sequence[str] = tuple(EXPERIMENT_NAMES)
+    seed: int = 7
+    trials: int = 1
+
+    def sweep_config(self) -> SweepConfig:
+        scale = 300 if self.quick else 800
+        return SweepConfig(
+            num_legit=scale,
+            num_fakes=scale,
+            seed=self.seed,
+            trials=self.trials,
+        )
+
+
+def _runners(config: ReportConfig) -> Dict[str, Callable[[], object]]:
+    sweep = config.sweep_config()
+    table1_scale = 0.05 if config.quick else 0.2
+    fig16_legit = 400 if config.quick else 1000
+    table2_sizes = (500, 1000) if config.quick else (1000, 2000, 4000)
+    return {
+        "table1": lambda: datasets_table(scale=table1_scale),
+        "fig1": lambda: motivation_study(seed=config.seed),
+        "fig3-5": lambda: friend_attribute_study(seed=config.seed),
+        "fig9": lambda: request_volume_sweep(sweep),
+        "fig10": lambda: stealth_sweep(sweep),
+        "fig11": lambda: spam_rejection_sweep(sweep),
+        "fig12": lambda: legit_rejection_sweep(sweep),
+        "fig13": lambda: collusion_sweep(sweep),
+        "fig14": lambda: self_rejection_sweep(sweep),
+        "fig15": lambda: legit_victim_rejection_sweep(sweep),
+        "fig16": lambda: defense_in_depth(
+            DefenseInDepthConfig(num_legit=fig16_legit, seed=config.seed)
+        ),
+        "table2": lambda: scaling_study(
+            ScalingConfig(user_counts=table2_sizes, seed=config.seed)
+        ),
+    }
+
+
+def generate_report(config: Optional[ReportConfig] = None) -> str:
+    """Run the selected experiments and return the markdown report."""
+    config = config or ReportConfig()
+    unknown = [name for name in config.include if name not in EXPERIMENT_NAMES]
+    if unknown:
+        raise ValueError(
+            f"unknown experiments {unknown}; choose from {EXPERIMENT_NAMES}"
+        )
+    runners = _runners(config)
+    lines: List[str] = [
+        "# Rejecto reproduction — measured results",
+        "",
+        f"- python {platform.python_version()} on {platform.system()}",
+        f"- scale: {'quick' if config.quick else 'default'}, "
+        f"seed {config.seed}, trials {config.trials}",
+        "",
+    ]
+    for name in EXPERIMENT_NAMES:
+        if name not in config.include:
+            continue
+        start = time.perf_counter()
+        result = runners[name]()
+        elapsed = time.perf_counter() - start
+        lines.append(f"## {name}")
+        lines.append("")
+        lines.append("```")
+        lines.append(result.render())
+        lines.append("```")
+        lines.append("")
+        lines.append(f"_regenerated in {elapsed:.1f}s_")
+        lines.append("")
+    return "\n".join(lines)
+
+
+def write_report(
+    path: Union[str, Path], config: Optional[ReportConfig] = None
+) -> Path:
+    """Generate and write the report; returns the path."""
+    path = Path(path)
+    path.write_text(generate_report(config))
+    return path

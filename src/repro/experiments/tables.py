@@ -1,0 +1,63 @@
+"""Plain-text rendering of experiment results.
+
+Every experiment runner returns structured results; these helpers print
+them as the rows/series the paper reports, for the benchmark harness and
+the CLI.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+__all__ = ["format_table", "format_series", "format_kv"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    title: Optional[str] = None,
+) -> str:
+    """Fixed-width table with a header rule."""
+    cells = [[_fmt(value) for value in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in cells)) if cells else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(row[i].ljust(widths[i]) for i in range(len(row))))
+    return "\n".join(lines)
+
+
+def format_series(
+    x_label: str,
+    x_values: Sequence[Any],
+    series: Dict[str, Sequence[float]],
+    title: Optional[str] = None,
+) -> str:
+    """One row per x value, one column per named series — the textual
+    equivalent of a paper figure."""
+    headers = [x_label] + list(series)
+    rows: List[List[Any]] = []
+    for i, x in enumerate(x_values):
+        rows.append([x] + [series[name][i] for name in series])
+    return format_table(headers, rows, title=title)
+
+
+def format_kv(pairs: Dict[str, Any], title: Optional[str] = None) -> str:
+    """Aligned key/value block."""
+    width = max(len(k) for k in pairs) if pairs else 0
+    lines = [title] if title else []
+    for key, value in pairs.items():
+        lines.append(f"{key.ljust(width)}  {_fmt(value)}")
+    return "\n".join(lines)
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)

@@ -1,0 +1,50 @@
+"""Social-graph substrates: generators, loaders, datasets, statistics.
+
+Provides everything the evaluation needs in place of the paper's crawled
+and downloaded graphs: Barabási-Albert, Holme-Kim powerlaw-cluster,
+Watts-Strogatz, and forest-fire generators; forest-fire sampling; SNAP
+edge-list I/O; the Table I dataset catalog of structural stand-ins; and
+the graph statistics Table I reports.
+"""
+
+from .ba import barabasi_albert
+from .communities import community_graph
+from .datasets import CATALOG, DatasetSpec, dataset_names, generate_dataset
+from .forest_fire import forest_fire_graph, forest_fire_sample
+from .loaders import LoaderError, load_snap_edgelist, save_snap_edgelist
+from .powerlaw_cluster import powerlaw_cluster
+from .random_graph import erdos_renyi
+from .smallworld import watts_strogatz
+from .stats import (
+    GraphStats,
+    approximate_diameter,
+    average_clustering,
+    connected_components,
+    degree_histogram,
+    graph_stats,
+    largest_component,
+)
+
+__all__ = [
+    "barabasi_albert",
+    "community_graph",
+    "erdos_renyi",
+    "powerlaw_cluster",
+    "watts_strogatz",
+    "forest_fire_graph",
+    "forest_fire_sample",
+    "load_snap_edgelist",
+    "save_snap_edgelist",
+    "LoaderError",
+    "CATALOG",
+    "DatasetSpec",
+    "dataset_names",
+    "generate_dataset",
+    "GraphStats",
+    "graph_stats",
+    "average_clustering",
+    "approximate_diameter",
+    "connected_components",
+    "largest_component",
+    "degree_histogram",
+]

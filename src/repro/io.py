@@ -1,0 +1,179 @@
+"""Persistence for augmented graphs, request logs, and detection reports.
+
+Formats are deliberately plain so they interoperate with shell tooling
+and the SNAP ecosystem:
+
+* **Augmented graph** — one line per edge: ``F u v`` for a friendship,
+  ``R rejecter sender`` for a directed rejection, with ``#`` comments
+  and a ``# nodes: N`` header preserving isolated nodes.
+* **Request log** — CSV ``sender,target,accepted`` with a header row.
+* **Detection report** — JSON with per-group members and cut statistics,
+  the artifact an OSN operator would feed into enforcement.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from .attacks.requests import RequestLog
+from .core.graph import AugmentedSocialGraph
+from .core.rejecto import RejectoResult
+
+__all__ = [
+    "FormatError",
+    "save_augmented_graph",
+    "load_augmented_graph",
+    "save_request_log",
+    "load_request_log",
+    "save_detection_report",
+    "load_detection_report",
+]
+
+_PathLike = Union[str, Path]
+
+
+class FormatError(ValueError):
+    """Raised on malformed persisted data."""
+
+
+# ----------------------------------------------------------------------
+# Augmented graph
+# ----------------------------------------------------------------------
+def save_augmented_graph(graph: AugmentedSocialGraph, path: _PathLike) -> None:
+    """Write a graph in the ``F``/``R`` edge-line format."""
+    path = Path(path)
+    with path.open("w") as handle:
+        handle.write("# rejecto augmented graph v1\n")
+        handle.write(f"# nodes: {graph.num_nodes}\n")
+        for u, v in sorted(graph.friendships()):
+            handle.write(f"F {u} {v}\n")
+        for rejecter, sender in sorted(graph.rejections()):
+            handle.write(f"R {rejecter} {sender}\n")
+
+
+def load_augmented_graph(path: _PathLike) -> AugmentedSocialGraph:
+    """Read a graph written by :func:`save_augmented_graph`.
+
+    The ``# nodes:`` header is optional; without it the node count is
+    inferred as ``max id + 1``.
+    """
+    path = Path(path)
+    declared_nodes = None
+    friendships = []
+    rejections = []
+    max_id = -1
+    with path.open() as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            if line.startswith("#"):
+                body = line[1:].strip()
+                if body.lower().startswith("nodes:"):
+                    try:
+                        declared_nodes = int(body.split(":", 1)[1])
+                    except ValueError as exc:
+                        raise FormatError(
+                            f"{path}:{lineno}: bad nodes header {line!r}"
+                        ) from exc
+                continue
+            parts = line.split()
+            if len(parts) != 3 or parts[0] not in ("F", "R"):
+                raise FormatError(
+                    f"{path}:{lineno}: expected 'F u v' or 'R u v', got {line!r}"
+                )
+            try:
+                u, v = int(parts[1]), int(parts[2])
+            except ValueError as exc:
+                raise FormatError(f"{path}:{lineno}: non-integer id in {line!r}") from exc
+            if u < 0 or v < 0:
+                raise FormatError(f"{path}:{lineno}: negative id in {line!r}")
+            max_id = max(max_id, u, v)
+            if parts[0] == "F":
+                friendships.append((u, v))
+            else:
+                rejections.append((u, v))
+    num_nodes = declared_nodes if declared_nodes is not None else max_id + 1
+    if num_nodes < max_id + 1:
+        raise FormatError(
+            f"{path}: nodes header says {num_nodes} but ids reach {max_id}"
+        )
+    return AugmentedSocialGraph.from_edges(num_nodes, friendships, rejections)
+
+
+# ----------------------------------------------------------------------
+# Request log
+# ----------------------------------------------------------------------
+def save_request_log(log: RequestLog, path: _PathLike) -> None:
+    """Write a request log as ``sender,target,accepted`` CSV."""
+    path = Path(path)
+    with path.open("w") as handle:
+        handle.write("sender,target,accepted\n")
+        for request in log:
+            handle.write(
+                f"{request.sender},{request.target},{int(request.accepted)}\n"
+            )
+
+
+def load_request_log(path: _PathLike) -> RequestLog:
+    """Read a request log written by :func:`save_request_log`."""
+    path = Path(path)
+    log = RequestLog()
+    with path.open() as handle:
+        header = handle.readline().strip()
+        if header != "sender,target,accepted":
+            raise FormatError(f"{path}: unexpected header {header!r}")
+        for lineno, line in enumerate(handle, start=2):
+            line = line.strip()
+            if not line:
+                continue
+            parts = line.split(",")
+            if len(parts) != 3:
+                raise FormatError(f"{path}:{lineno}: expected 3 fields, got {line!r}")
+            try:
+                sender, target, accepted = int(parts[0]), int(parts[1]), int(parts[2])
+            except ValueError as exc:
+                raise FormatError(f"{path}:{lineno}: non-integer field in {line!r}") from exc
+            if accepted not in (0, 1):
+                raise FormatError(f"{path}:{lineno}: accepted must be 0/1, got {accepted}")
+            log.record(sender, target, bool(accepted))
+    return log
+
+
+# ----------------------------------------------------------------------
+# Detection report
+# ----------------------------------------------------------------------
+def save_detection_report(result: RejectoResult, path: _PathLike) -> None:
+    """Write a detection outcome as JSON."""
+    payload = {
+        "version": 1,
+        "termination": result.termination,
+        "rounds_run": result.rounds_run,
+        "total_detected": result.total_detected,
+        "groups": [
+            {
+                "round": group.round_index,
+                "acceptance_rate": group.acceptance_rate,
+                "friends_to_rejections_ratio": group.ratio,
+                "f_cross": group.f_cross,
+                "r_cross": group.r_cross,
+                "k": group.k,
+                "members": group.members,
+            }
+            for group in result.groups
+        ],
+    }
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+
+
+def load_detection_report(path: _PathLike) -> dict:
+    """Read a JSON detection report (returned as a plain dict)."""
+    try:
+        payload = json.loads(Path(path).read_text())
+    except json.JSONDecodeError as exc:
+        raise FormatError(f"{path}: invalid JSON: {exc}") from exc
+    if not isinstance(payload, dict) or "groups" not in payload:
+        raise FormatError(f"{path}: not a detection report")
+    return payload

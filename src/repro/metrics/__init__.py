@@ -1,0 +1,18 @@
+"""Evaluation metrics: precision/recall (Section VI-A) and ROC/AUC
+(Section VI-D)."""
+
+from .detection import DetectionMetrics, precision_recall
+from .distributions import cdf_at, empirical_cdf
+from .ranking import average_precision, precision_at_k
+from .roc import auc_from_scores, roc_curve
+
+__all__ = [
+    "DetectionMetrics",
+    "precision_recall",
+    "auc_from_scores",
+    "roc_curve",
+    "empirical_cdf",
+    "cdf_at",
+    "precision_at_k",
+    "average_precision",
+]

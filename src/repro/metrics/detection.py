@@ -1,0 +1,64 @@
+"""Detection-accuracy metrics.
+
+The paper's headline metric (Section VI-A) is *precision*: the fraction
+of declared-suspicious accounts that are actually fake. Because every
+scheme is made to declare exactly as many suspicious accounts as the
+number of injected fakes, precision and recall coincide — hence the
+figures' "Precision/recall" axes. :func:`precision_recall` computes the
+full confusion picture and checks that identity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Set
+
+__all__ = ["DetectionMetrics", "precision_recall"]
+
+
+@dataclass(frozen=True)
+class DetectionMetrics:
+    """Confusion counts and derived rates for one detection outcome."""
+
+    true_positives: int
+    false_positives: int
+    false_negatives: int
+    precision: float
+    recall: float
+    f1: float
+
+    @property
+    def declared(self) -> int:
+        """Number of accounts declared suspicious."""
+        return self.true_positives + self.false_positives
+
+
+def precision_recall(
+    detected: Iterable[int], true_fakes: Iterable[int]
+) -> DetectionMetrics:
+    """Score a detected-account set against the injected fakes.
+
+    Parameters
+    ----------
+    detected:
+        Account ids declared suspicious by the scheme under test.
+    true_fakes:
+        Ground-truth fake-account ids.
+    """
+    detected_set: Set[int] = set(detected)
+    fake_set: Set[int] = set(true_fakes)
+    tp = len(detected_set & fake_set)
+    fp = len(detected_set - fake_set)
+    fn = len(fake_set - detected_set)
+    precision = tp / len(detected_set) if detected_set else 0.0
+    recall = tp / len(fake_set) if fake_set else 1.0
+    denominator = precision + recall
+    f1 = 2 * precision * recall / denominator if denominator else 0.0
+    return DetectionMetrics(
+        true_positives=tp,
+        false_positives=fp,
+        false_negatives=fn,
+        precision=precision,
+        recall=recall,
+        f1=f1,
+    )

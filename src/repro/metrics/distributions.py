@@ -1,0 +1,33 @@
+"""Empirical distribution utilities.
+
+The paper's Section II figures (3-5) are CDFs of account attributes;
+:func:`empirical_cdf` computes the standard step-function CDF points and
+:func:`cdf_at` evaluates one.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+__all__ = ["empirical_cdf", "cdf_at"]
+
+
+def empirical_cdf(values: Sequence[float]) -> List[Tuple[float, float]]:
+    """Points ``(v, P[X <= v])`` of the empirical CDF, one per distinct
+    value, in increasing order."""
+    if not values:
+        raise ValueError("values is empty")
+    ordered = sorted(values)
+    n = len(ordered)
+    points: List[Tuple[float, float]] = []
+    for index, value in enumerate(ordered, start=1):
+        if index == n or ordered[index] != value:
+            points.append((value, index / n))
+    return points
+
+
+def cdf_at(values: Sequence[float], threshold: float) -> float:
+    """``P[X <= threshold]`` under the empirical distribution."""
+    if not values:
+        raise ValueError("values is empty")
+    return sum(1 for v in values if v <= threshold) / len(values)

@@ -1,0 +1,46 @@
+"""Ranking metrics for scored detections.
+
+SybilRank-style schemes output rankings rather than sets; besides the
+AUC (:mod:`repro.metrics.roc`), the operator-facing questions are "how
+pure are the first k accounts I act on?" (:func:`precision_at_k`) and
+"how good is the ranking overall, weighted toward the top?"
+(:func:`average_precision`).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Set
+
+__all__ = ["precision_at_k", "average_precision"]
+
+
+def precision_at_k(
+    ranked: Sequence[int], positives: Iterable[int], k: int
+) -> float:
+    """Fraction of the first ``k`` ranked items that are positive."""
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    if not ranked:
+        raise ValueError("ranked is empty")
+    positive_set: Set[int] = set(positives)
+    top = ranked[: min(k, len(ranked))]
+    return sum(1 for item in top if item in positive_set) / len(top)
+
+
+def average_precision(ranked: Sequence[int], positives: Iterable[int]) -> float:
+    """Mean of precision@rank over the ranks of the positives.
+
+    Positives absent from the ranking contribute zero, so the score
+    penalizes both misordering and omission. 1.0 iff every positive
+    occupies the top of the ranking.
+    """
+    positive_set: Set[int] = set(positives)
+    if not positive_set:
+        raise ValueError("need at least one positive")
+    hits = 0
+    precision_sum = 0.0
+    for rank, item in enumerate(ranked, start=1):
+        if item in positive_set:
+            hits += 1
+            precision_sum += hits / rank
+    return precision_sum / len(positive_set)

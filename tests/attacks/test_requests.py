@@ -1,0 +1,82 @@
+"""Tests for the friend-request log."""
+
+from repro.attacks import FriendRequest, RequestLog, ScenarioConfig, build_scenario
+
+
+class TestRequestLog:
+    def test_record_and_iterate(self):
+        log = RequestLog()
+        log.record(0, 1, True)
+        log.record(2, 1, False)
+        assert len(log) == 2
+        assert list(log) == [
+            FriendRequest(0, 1, True),
+            FriendRequest(2, 1, False),
+        ]
+
+    def test_accept_reject_counts(self):
+        log = RequestLog()
+        log.record(0, 1, True)
+        log.record(0, 2, False)
+        log.record(3, 0, False)
+        assert log.num_accepted == 1
+        assert log.num_rejected == 2
+
+    def test_duplicates_are_kept(self):
+        """Re-requests after a rejection are distinct observations."""
+        log = RequestLog()
+        log.record(0, 1, False)
+        log.record(0, 1, True)
+        assert len(log) == 2
+        assert log.edge_counts()[(0, 1)] == (1, 1)
+
+    def test_out_requests_grouping(self):
+        log = RequestLog()
+        log.record(0, 1, True)
+        log.record(0, 2, False)
+        log.record(3, 1, True)
+        grouped = log.out_requests()
+        assert {r.target for r in grouped[0]} == {1, 2}
+        assert len(grouped[3]) == 1
+        assert 1 not in grouped
+
+    def test_empty_log(self):
+        log = RequestLog()
+        assert len(log) == 0
+        assert log.num_accepted == 0
+        assert log.out_requests() == {}
+        assert log.edge_counts() == {}
+
+
+class TestScenarioLogConsistency:
+    def test_log_covers_every_graph_edge(self):
+        """Every friendship and rejection in the built graph must have a
+        corresponding logged request, and the accepted/rejected split
+        must match the graph's edge counts."""
+        scenario = build_scenario(
+            ScenarioConfig(num_legit=300, num_fakes=60, seed=17)
+        )
+        graph = scenario.graph
+        log = scenario.request_log
+        accepted_pairs = {
+            tuple(sorted((r.sender, r.target))) for r in log if r.accepted
+        }
+        friendship_pairs = {tuple(sorted(e)) for e in graph.friendships()}
+        assert friendship_pairs == accepted_pairs
+        rejected_pairs = {(r.target, r.sender) for r in log if not r.accepted}
+        assert set(graph.rejections()) == rejected_pairs
+
+    def test_log_direction_matches_spam(self):
+        scenario = build_scenario(
+            ScenarioConfig(num_legit=300, num_fakes=60, seed=18)
+        )
+        fake_set = set(scenario.fakes)
+        spam_requests = [
+            r
+            for r in scenario.request_log
+            if r.sender in fake_set and r.target not in fake_set
+        ]
+        # All fakes send 20 requests each into the legitimate region.
+        assert len(spam_requests) == 60 * 20
+        rejected = sum(1 for r in spam_requests if not r.accepted)
+        assert rejected / len(spam_requests) > 0.6

@@ -1,0 +1,246 @@
+"""Tests for attack strategies, the scenario builder, and the
+purchased-account model."""
+
+import random
+
+import pytest
+
+from repro.attacks import (
+    AccountModelConfig,
+    ScenarioConfig,
+    add_collusion_edges,
+    apply_self_rejection,
+    build_scenario,
+    pick_stealth_senders,
+    reject_legitimate_requests,
+    sample_purchased_accounts,
+)
+from repro.core import AugmentedSocialGraph
+
+
+class TestCollusion:
+    def test_adds_intra_edges_only(self):
+        graph = AugmentedSocialGraph(10)
+        fakes = graph.add_nodes(20)
+        added = add_collusion_edges(graph, fakes, 4, random.Random(0))
+        assert added == pytest.approx(20 * 4, abs=0)
+        fake_set = set(fakes)
+        for u, v in graph.friendships():
+            assert u in fake_set and v in fake_set
+
+    def test_zero_extra_is_noop(self):
+        graph = AugmentedSocialGraph(5)
+        fakes = graph.add_nodes(3)
+        assert add_collusion_edges(graph, fakes, 0) == 0
+
+    def test_single_fake_rejected(self):
+        graph = AugmentedSocialGraph(0)
+        fakes = graph.add_nodes(1)
+        with pytest.raises(ValueError):
+            add_collusion_edges(graph, fakes, 2)
+
+
+class TestSelfRejection:
+    def test_rejections_point_at_senders(self):
+        graph = AugmentedSocialGraph(0)
+        senders = graph.add_nodes(5)
+        whitewashed = graph.add_nodes(5)
+        stats = apply_self_rejection(
+            graph, senders, whitewashed, 5, 1.0, random.Random(1)
+        )
+        assert stats.requests == 25
+        assert stats.rejected == 25
+        for rejecter, sender in graph.rejections():
+            assert rejecter in whitewashed
+            assert sender in senders
+
+    def test_partial_rate_mixes_edges(self):
+        graph = AugmentedSocialGraph(0)
+        senders = graph.add_nodes(20)
+        whitewashed = graph.add_nodes(20)
+        stats = apply_self_rejection(
+            graph, senders, whitewashed, 10, 0.5, random.Random(2)
+        )
+        assert stats.rejected == pytest.approx(100, abs=30)
+        assert graph.num_friendships > 0
+        assert graph.num_rejections > 0
+
+    def test_request_budget_validated(self):
+        graph = AugmentedSocialGraph(0)
+        senders = graph.add_nodes(2)
+        whitewashed = graph.add_nodes(2)
+        with pytest.raises(ValueError, match="exceeds"):
+            apply_self_rejection(graph, senders, whitewashed, 5, 0.5)
+
+
+class TestRejectLegitimateRequests:
+    def test_adds_exact_count(self):
+        graph = AugmentedSocialGraph(100)
+        fakes = graph.add_nodes(10)
+        added = reject_legitimate_requests(
+            graph, fakes, list(range(100)), 50, random.Random(3)
+        )
+        assert added == 50
+        assert graph.num_rejections == 50
+        for rejecter, sender in graph.rejections():
+            assert rejecter in fakes
+            assert sender < 100
+
+    def test_budget_beyond_pairs_rejected(self):
+        graph = AugmentedSocialGraph(2)
+        fakes = graph.add_nodes(1)
+        with pytest.raises(ValueError, match="exceeds"):
+            reject_legitimate_requests(graph, fakes, [0, 1], 3)
+
+    def test_zero_is_noop(self):
+        graph = AugmentedSocialGraph(5)
+        assert reject_legitimate_requests(graph, [], [0], 0) == 0
+
+
+class TestStealthSenders:
+    def test_half_fraction(self):
+        senders = pick_stealth_senders(list(range(100)), 0.5, random.Random(4))
+        assert len(senders) == 50
+        assert senders == sorted(senders)
+
+    def test_full_fraction_returns_all(self):
+        fakes = list(range(30))
+        assert pick_stealth_senders(fakes, 1.0, random.Random(5)) == fakes
+
+    def test_tiny_fraction_keeps_at_least_one(self):
+        assert len(pick_stealth_senders(list(range(10)), 0.01)) == 1
+
+    def test_empty_fakes(self):
+        assert pick_stealth_senders([], 0.5) == []
+
+
+class TestScenarioBuilder:
+    def test_baseline_shape(self):
+        scenario = build_scenario(
+            ScenarioConfig(num_legit=500, num_fakes=100, seed=1)
+        )
+        assert len(scenario.legit) == 500
+        assert len(scenario.fakes) == 100
+        assert scenario.spammers == scenario.fakes  # all send by default
+        assert scenario.spam_stats.requests == 100 * 20
+        assert scenario.spam_stats.rejection_rate == pytest.approx(0.7, abs=0.04)
+        assert len(scenario.careless) == 75
+        assert scenario.num_nodes == 600
+
+    def test_deterministic_per_seed(self):
+        a = build_scenario(ScenarioConfig(num_legit=300, num_fakes=50, seed=3))
+        b = build_scenario(ScenarioConfig(num_legit=300, num_fakes=50, seed=3))
+        assert set(a.graph.friendships()) == set(b.graph.friendships())
+        assert set(a.graph.rejections()) == set(b.graph.rejections())
+
+    def test_stealth_fraction(self):
+        scenario = build_scenario(
+            ScenarioConfig(
+                num_legit=300, num_fakes=60, spam_sender_fraction=0.5, seed=2
+            )
+        )
+        assert len(scenario.spammers) == 30
+        assert set(scenario.spammers) < set(scenario.fakes)
+
+    def test_collusion_adds_density(self):
+        base = build_scenario(ScenarioConfig(num_legit=300, num_fakes=60, seed=4))
+        colluding = build_scenario(
+            ScenarioConfig(
+                num_legit=300, num_fakes=60, collusion_extra_links=10, seed=4
+            )
+        )
+        assert colluding.graph.num_friendships > base.graph.num_friendships + 100
+
+    def test_self_rejection_splits_fakes(self):
+        scenario = build_scenario(
+            ScenarioConfig(
+                num_legit=300,
+                num_fakes=60,
+                self_rejection_rate=0.8,
+                seed=5,
+            )
+        )
+        assert len(scenario.whitewashed) == 30
+        # Whitewashed fakes received intra-fake requests: rejections from
+        # whitewashed onto the sender half must exist.
+        ww = set(scenario.whitewashed)
+        intra = [
+            (r, s)
+            for r, s in scenario.graph.rejections()
+            if r in ww and s in set(scenario.fakes) - ww
+        ]
+        assert intra
+
+    def test_rejections_on_legit(self):
+        scenario = build_scenario(
+            ScenarioConfig(
+                num_legit=300, num_fakes=60, rejections_on_legit=200, seed=6
+            )
+        )
+        fake_set = set(scenario.fakes)
+        count = sum(
+            1
+            for r, s in scenario.graph.rejections()
+            if r in fake_set and s not in fake_set
+        )
+        assert count == 200
+
+    def test_base_graph_not_mutated(self):
+        from repro.graphgen import barabasi_albert
+
+        base = barabasi_albert(200, 3, random.Random(0))
+        edges_before = base.num_friendships
+        build_scenario(
+            ScenarioConfig(num_fakes=40, seed=7), base_graph=base
+        )
+        assert base.num_friendships == edges_before
+        assert base.num_rejections == 0
+
+    def test_with_overrides(self):
+        config = ScenarioConfig(num_fakes=10)
+        changed = config.with_overrides(requests_per_fake=50)
+        assert changed.requests_per_fake == 50
+        assert changed.num_fakes == 10
+        assert config.requests_per_fake == 20  # original untouched
+
+    def test_precision_recall_helper(self):
+        scenario = build_scenario(ScenarioConfig(num_legit=200, num_fakes=40, seed=8))
+        metrics = scenario.precision_recall(scenario.fakes)
+        assert metrics.precision == 1.0
+        assert metrics.recall == 1.0
+
+    def test_sample_seeds(self):
+        scenario = build_scenario(ScenarioConfig(num_legit=200, num_fakes=40, seed=9))
+        legit_seeds, spam_seeds = scenario.sample_seeds(10, 5)
+        assert len(legit_seeds) == 10
+        assert len(spam_seeds) == 5
+        assert set(legit_seeds) <= set(scenario.legit)
+        assert set(spam_seeds) <= set(scenario.spammers)
+
+
+class TestPurchasedAccounts:
+    def test_default_batch_matches_paper_shape(self):
+        accounts = sample_purchased_accounts(rng=random.Random(0))
+        assert len(accounts) == 43
+        for account in accounts:
+            assert account.friends >= 50
+            assert 0.10 <= account.pending_fraction <= 0.72
+
+    def test_aggregates_close_to_paper(self):
+        """Paper total: 2804 friends, 2065 pending over 43 accounts."""
+        rng = random.Random(1)
+        friends = pending = 0
+        for _ in range(20):
+            accounts = sample_purchased_accounts(rng=rng)
+            friends += sum(a.friends for a in accounts)
+            pending += sum(a.pending_requests for a in accounts)
+        assert friends / 20 == pytest.approx(2804, rel=0.25)
+        assert pending / 20 == pytest.approx(2065, rel=0.40)
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            sample_purchased_accounts(AccountModelConfig(num_accounts=0))
+        with pytest.raises(ValueError):
+            sample_purchased_accounts(
+                AccountModelConfig(min_pending_fraction=0.9, max_pending_fraction=0.2)
+            )

@@ -1,0 +1,238 @@
+"""Tests for Sybil injection and the spam/rejection simulators."""
+
+import random
+
+import pytest
+
+from repro.attacks import (
+    SybilRegionConfig,
+    add_careless_requests,
+    inject_sybil_region,
+    send_friend_spam,
+    simulate_legitimate_rejections,
+)
+from repro.core import AugmentedSocialGraph
+from repro.graphgen import barabasi_albert
+
+
+@pytest.fixture
+def legit_graph():
+    return barabasi_albert(300, 4, random.Random(0))
+
+
+class TestSybilInjection:
+    def test_adds_region_with_intra_links(self, legit_graph):
+        before = legit_graph.num_nodes
+        fakes = inject_sybil_region(
+            legit_graph,
+            SybilRegionConfig(num_fakes=50, intra_links_per_fake=6),
+            random.Random(1),
+        )
+        assert len(fakes) == 50
+        assert legit_graph.num_nodes == before + 50
+        assert fakes == list(range(before, before + 50))
+        # Every fake after the 6th brings exactly 6 intra links; earlier
+        # arrivals link to however many fakes exist.
+        late = fakes[10]
+        assert len(legit_graph.friends[late]) >= 1
+
+    def test_no_attack_edges_created(self, legit_graph):
+        before_edges = legit_graph.num_friendships
+        fakes = inject_sybil_region(
+            legit_graph, SybilRegionConfig(num_fakes=30), random.Random(2)
+        )
+        fake_set = set(fakes)
+        for u, v in legit_graph.friendships():
+            crossing = (u in fake_set) != (v in fake_set)
+            assert not crossing
+        assert legit_graph.num_friendships > before_edges
+
+    def test_expected_intra_edge_count(self):
+        graph = AugmentedSocialGraph(0)
+        fakes = inject_sybil_region(
+            graph,
+            SybilRegionConfig(num_fakes=40, intra_links_per_fake=3),
+            random.Random(3),
+        )
+        # Arrivals 1, 2 link to min(3, position); the rest add exactly 3
+        # (uniform sampling without replacement cannot collide).
+        assert graph.num_friendships == 1 + 2 + 3 * 37
+
+    def test_preferential_attachment_mode(self):
+        graph = AugmentedSocialGraph(0)
+        fakes = inject_sybil_region(
+            graph,
+            SybilRegionConfig(
+                num_fakes=200, intra_links_per_fake=4, attachment="preferential"
+            ),
+            random.Random(4),
+        )
+        degrees = sorted(len(graph.friends[f]) for f in fakes)
+        assert degrees[-1] > 3 * (sum(degrees) / len(degrees))
+
+    def test_invalid_config(self, legit_graph):
+        with pytest.raises(ValueError):
+            inject_sybil_region(legit_graph, SybilRegionConfig(num_fakes=0))
+        with pytest.raises(ValueError):
+            inject_sybil_region(
+                legit_graph, SybilRegionConfig(num_fakes=5, intra_links_per_fake=-1)
+            )
+        with pytest.raises(ValueError):
+            inject_sybil_region(
+                legit_graph, SybilRegionConfig(num_fakes=5, attachment="mesh")
+            )
+
+
+class TestFriendSpam:
+    def test_rejection_rate_respected(self, legit_graph):
+        fakes = inject_sybil_region(
+            legit_graph, SybilRegionConfig(num_fakes=40), random.Random(5)
+        )
+        stats = send_friend_spam(
+            legit_graph,
+            senders=fakes,
+            targets=list(range(300)),
+            requests_per_sender=20,
+            rejection_rate=0.7,
+            rng=random.Random(6),
+        )
+        assert stats.requests == 800
+        assert stats.accepted + stats.rejected == stats.requests
+        assert stats.rejection_rate == pytest.approx(0.7, abs=0.05)
+
+    def test_edges_point_the_right_way(self):
+        graph = AugmentedSocialGraph(10)
+        fakes = graph.add_nodes(2)
+        send_friend_spam(
+            graph, fakes, list(range(10)), 5, rejection_rate=1.0,
+            rng=random.Random(7),
+        )
+        # All rejected: rejecters are legit targets, senders are fakes.
+        for rejecter, sender in graph.rejections():
+            assert rejecter < 10
+            assert sender in fakes
+        assert graph.num_friendships == 0
+
+    def test_zero_rejection_rate_creates_only_friendships(self):
+        graph = AugmentedSocialGraph(10)
+        fakes = graph.add_nodes(2)
+        stats = send_friend_spam(
+            graph, fakes, list(range(10)), 5, rejection_rate=0.0,
+            rng=random.Random(8),
+        )
+        assert stats.rejected == 0
+        assert graph.num_rejections == 0
+        assert graph.num_friendships == stats.accepted
+
+    def test_too_many_requests_rejected(self):
+        graph = AugmentedSocialGraph(5)
+        with pytest.raises(ValueError, match="exceeds"):
+            send_friend_spam(graph, [0], [1, 2], 3, 0.5)
+
+    def test_invalid_rate_rejected(self):
+        graph = AugmentedSocialGraph(5)
+        with pytest.raises(ValueError):
+            send_friend_spam(graph, [0], [1, 2], 1, 1.5)
+
+
+class TestLegitimateRejections:
+    def test_count_tracks_degree_and_rate(self, legit_graph):
+        added = simulate_legitimate_rejections(
+            legit_graph, list(range(300)), 0.2, random.Random(9)
+        )
+        # Expected: sum(deg * 0.25) = 2E * 0.25.
+        expected = 2 * legit_graph.num_friendships * 0.25
+        assert added == pytest.approx(expected, rel=0.15)
+
+    def test_origins_are_non_friends(self, legit_graph):
+        simulate_legitimate_rejections(
+            legit_graph, list(range(300)), 0.3, random.Random(10)
+        )
+        for rejecter, sender in legit_graph.rejections():
+            assert not legit_graph.has_friendship(rejecter, sender)
+
+    def test_zero_rate_adds_nothing(self, legit_graph):
+        assert (
+            simulate_legitimate_rejections(
+                legit_graph, list(range(300)), 0.0, random.Random(11)
+            )
+            == 0
+        )
+
+    def test_rate_one_rejected(self, legit_graph):
+        with pytest.raises(ValueError):
+            simulate_legitimate_rejections(legit_graph, list(range(300)), 1.0)
+
+    def test_tiny_population(self):
+        graph = AugmentedSocialGraph.from_edges(1)
+        assert simulate_legitimate_rejections(graph, [0], 0.5) == 0
+
+
+class TestCarelessRequests:
+    def test_fraction_of_users_connect(self, legit_graph):
+        fakes = inject_sybil_region(
+            legit_graph, SybilRegionConfig(num_fakes=20), random.Random(12)
+        )
+        careless = add_careless_requests(
+            legit_graph, list(range(300)), fakes, 0.15, random.Random(13)
+        )
+        assert len(careless) == 45
+        fake_set = set(fakes)
+        for user in careless:
+            assert any(v in fake_set for v in legit_graph.friends[user])
+
+    def test_no_fakes_is_noop(self, legit_graph):
+        assert add_careless_requests(legit_graph, list(range(300)), [], 0.15) == []
+
+    def test_zero_fraction(self, legit_graph):
+        fakes = inject_sybil_region(
+            legit_graph, SybilRegionConfig(num_fakes=5), random.Random(14)
+        )
+        assert add_careless_requests(legit_graph, list(range(300)), fakes, 0.0) == []
+
+
+class TestTargetedSpam:
+    def test_high_degree_targeting_hits_hubs(self, legit_graph):
+        fakes = inject_sybil_region(
+            legit_graph, SybilRegionConfig(num_fakes=40), random.Random(15)
+        )
+        degrees_before = [len(legit_graph.friends[u]) for u in range(300)]
+        stats = send_friend_spam(
+            legit_graph,
+            fakes,
+            list(range(300)),
+            10,
+            rejection_rate=1.0,  # rejections only: degrees stay fixed
+            rng=random.Random(16),
+            targeting="high_degree",
+        )
+        assert stats.requests == 400
+        # Mean degree of the hit targets far exceeds the population mean.
+        hit = [degrees_before[r] for r, s in legit_graph.rejections()]
+        population_mean = sum(degrees_before) / 300
+        assert sum(hit) / len(hit) > 1.5 * population_mean
+
+    def test_unknown_targeting_rejected(self):
+        graph = AugmentedSocialGraph(5)
+        with pytest.raises(ValueError, match="targeting"):
+            send_friend_spam(graph, [0], [1, 2], 1, 0.5, targeting="vip")
+
+    def test_scenario_targeting_preserves_detection(self):
+        """Rejecto's aggregate-rate objective is target-agnostic: hub
+        farming changes who gets hit, not the acceptance rate."""
+        from repro.attacks import ScenarioConfig, build_scenario
+        from repro.core import Rejecto, RejectoConfig
+
+        scenario = build_scenario(
+            ScenarioConfig(
+                num_legit=400,
+                num_fakes=80,
+                spam_targeting="high_degree",
+                seed=17,
+            )
+        )
+        result = Rejecto(RejectoConfig(estimated_spammers=80)).detect(
+            scenario.graph
+        )
+        metrics = scenario.precision_recall(result.detected(limit=80))
+        assert metrics.precision > 0.9

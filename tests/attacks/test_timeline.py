@@ -1,0 +1,216 @@
+"""Tests for the time-stamped request timeline."""
+
+import random
+
+import pytest
+
+from repro.attacks import (
+    CompromiseEvent,
+    TimedRequest,
+    Timeline,
+    TimelineConfig,
+    simulate_timeline,
+)
+from repro.graphgen import barabasi_albert
+
+
+@pytest.fixture
+def base():
+    return barabasi_albert(200, 3, random.Random(0))
+
+
+class TestTimeline:
+    def test_shard_includes_interval_requests_only(self, base):
+        requests = [
+            TimedRequest(0, 0, 1, True),
+            TimedRequest(1, 2, 3, False),
+            TimedRequest(2, 4, 5, True),
+        ]
+        timeline = Timeline(base, requests, num_days=3)
+        day1 = timeline.shard(1, 2)
+        assert day1.has_rejection(3, 2)
+        # Standing friendships present by default.
+        assert day1.num_friendships >= base.num_friendships
+        # Other days' requests excluded (checked on a base-free shard,
+        # since the base graph may contain the same pair by chance).
+        bare = timeline.shard(1, 2, include_base=False)
+        assert not bare.has_friendship(4, 5)
+        assert not bare.has_friendship(0, 1)
+        assert bare.has_rejection(3, 2)
+
+    def test_shard_without_base(self, base):
+        timeline = Timeline(base, [TimedRequest(0, 0, 1, True)], num_days=1)
+        bare = timeline.shard(0, 1, include_base=False)
+        assert bare.num_friendships == 1
+        assert bare.num_nodes == base.num_nodes
+
+    def test_daily_shards_cover_all_days(self, base):
+        requests = [TimedRequest(d, d, d + 1, False) for d in range(4)]
+        timeline = Timeline(base, requests, num_days=4)
+        shards = timeline.daily_shards(include_base=False)
+        assert len(shards) == 4
+        for day, shard in enumerate(shards):
+            assert shard.num_rejections == 1
+            assert shard.has_rejection(day + 1, day)
+
+    def test_cumulative_merges_everything(self, base):
+        requests = [
+            TimedRequest(0, 0, 1, True),
+            TimedRequest(3, 2, 3, False),
+        ]
+        timeline = Timeline(base, requests, num_days=4)
+        merged = timeline.cumulative()
+        assert merged.has_friendship(0, 1)
+        assert merged.has_rejection(3, 2)
+
+    def test_invalid_intervals_rejected(self, base):
+        timeline = Timeline(base, [], num_days=3)
+        with pytest.raises(ValueError):
+            timeline.shard(2, 2)
+        with pytest.raises(ValueError):
+            timeline.shard(0, 4)
+        with pytest.raises(ValueError):
+            timeline.shard(-1, 2)
+
+    def test_out_of_range_request_day_rejected(self, base):
+        with pytest.raises(ValueError):
+            Timeline(base, [TimedRequest(5, 0, 1, True)], num_days=3)
+
+
+class TestSimulateTimeline:
+    def test_compromised_accounts_spam_after_their_day(self, base):
+        config = TimelineConfig(num_days=4, spam_daily_requests=10)
+        timeline = simulate_timeline(
+            base,
+            [CompromiseEvent(account=7, day=2)],
+            config,
+            random.Random(1),
+        )
+        before = [
+            r for r in timeline.requests_in(0, 2) if r.sender == 7
+        ]
+        after = [r for r in timeline.requests_in(2, 4) if r.sender == 7]
+        assert len(after) >= 15  # ~10/day for 2 days (minus self-target skips)
+        assert len(before) <= 4  # legit background traffic only
+
+    def test_spam_rejection_rate_applies(self, base):
+        config = TimelineConfig(
+            num_days=2, spam_daily_requests=50, spam_rejection_rate=0.9
+        )
+        timeline = simulate_timeline(
+            base, [CompromiseEvent(3, 0)], config, random.Random(2)
+        )
+        spam = [r for r in timeline.requests if r.sender == 3]
+        rejected = sum(1 for r in spam if not r.accepted)
+        assert rejected / len(spam) == pytest.approx(0.9, abs=0.06)
+
+    def test_earliest_compromise_day_wins(self, base):
+        config = TimelineConfig(num_days=3)
+        timeline = simulate_timeline(
+            base,
+            [CompromiseEvent(5, 2), CompromiseEvent(5, 1)],
+            config,
+            random.Random(3),
+        )
+        day1_spam = [r for r in timeline.requests_in(1, 2) if r.sender == 5]
+        assert len(day1_spam) >= 15
+
+    def test_validation(self, base):
+        with pytest.raises(ValueError):
+            simulate_timeline(base, [CompromiseEvent(9999, 0)])
+        with pytest.raises(ValueError):
+            simulate_timeline(base, [CompromiseEvent(0, 99)])
+        from repro.core import AugmentedSocialGraph
+
+        with pytest.raises(ValueError):
+            simulate_timeline(AugmentedSocialGraph(1), [])
+
+
+class TestRecoveryEvents:
+    def test_recovered_account_stops_spamming(self, base):
+        from repro.attacks import RecoveryEvent
+
+        config = TimelineConfig(num_days=6, spam_daily_requests=10)
+        timeline = simulate_timeline(
+            base,
+            [CompromiseEvent(7, 1)],
+            config,
+            random.Random(5),
+            recoveries=[RecoveryEvent(7, 3)],
+        )
+        during = [r for r in timeline.requests_in(1, 3) if r.sender == 7]
+        after = [r for r in timeline.requests_in(3, 6) if r.sender == 7]
+        assert len(during) >= 15  # spamming days 1-2
+        assert len(after) <= 6  # back to legit background traffic
+
+    def test_recovery_before_compromise_means_never_spams(self, base):
+        from repro.attacks import RecoveryEvent
+
+        config = TimelineConfig(num_days=4, spam_daily_requests=10)
+        timeline = simulate_timeline(
+            base,
+            [CompromiseEvent(3, 2)],
+            config,
+            random.Random(6),
+            recoveries=[RecoveryEvent(3, 1)],
+        )
+        spam = [r for r in timeline.requests if r.sender == 3]
+        assert len(spam) <= 5
+
+    def test_recovery_validation(self, base):
+        from repro.attacks import RecoveryEvent
+
+        with pytest.raises(ValueError):
+            simulate_timeline(
+                base, [], recoveries=[RecoveryEvent(99999, 0)]
+            )
+        with pytest.raises(ValueError):
+            simulate_timeline(
+                base, [], recoveries=[RecoveryEvent(0, 999)]
+            )
+
+    def test_sharded_detection_stops_after_recovery(self, base):
+        """The §VII remediation loop: post-recovery shards flag nothing."""
+        from repro.attacks import RecoveryEvent
+        from repro.core import MAARConfig, RejectoConfig, detect_over_shards
+
+        rng = random.Random(7)
+        hijacked = sorted(rng.sample(range(200), 15))
+        config = TimelineConfig(num_days=5, spam_daily_requests=15)
+        timeline = simulate_timeline(
+            base,
+            [CompromiseEvent(u, 1) for u in hijacked],
+            config,
+            rng,
+            recoveries=[RecoveryEvent(u, 3) for u in hijacked],
+        )
+        detection = detect_over_shards(
+            timeline.daily_shards(),
+            RejectoConfig(
+                maar=MAARConfig(k_steps=8),
+                estimated_spammers=len(hijacked),
+                acceptance_threshold=0.6,
+            ),
+        )
+        assert len(detection.flagged(1) & set(hijacked)) > 10
+        assert not detection.flagged(0)
+        assert not detection.flagged(3)
+        assert not detection.flagged(4)
+
+
+class TestShardUnionProperty:
+    def test_cumulative_equals_union_of_daily_shards(self, base):
+        """Property: the whole-window graph holds exactly the union of
+        the daily shards' requests (plus the base friendships)."""
+        config = TimelineConfig(num_days=4, spam_daily_requests=8)
+        timeline = simulate_timeline(
+            base, [CompromiseEvent(3, 1)], config, random.Random(9)
+        )
+        merged = timeline.cumulative()
+        union_f = set(base.friendships())
+        union_r = set()
+        for shard in timeline.daily_shards(include_base=False):
+            union_f |= set(shard.friendships())
+            union_r |= set(shard.rejections())
+        assert set(merged.friendships()) == union_f
+        assert set(merged.rejections()) == union_r

@@ -1,0 +1,95 @@
+"""Tests for the scipy-sparse propagation backend — it must agree with
+the pure-Python loops to numerical precision."""
+
+import random
+
+import pytest
+
+from repro.attacks import ScenarioConfig, build_scenario
+from repro.baselines import (
+    SybilFence,
+    SybilFenceConfig,
+    SybilRank,
+    SybilRankConfig,
+)
+from repro.baselines.linalg import (
+    friendship_transition_matrix,
+    propagate,
+    weighted_transition_matrix,
+)
+from repro.core import AugmentedSocialGraph
+from repro.graphgen import barabasi_albert
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return build_scenario(ScenarioConfig(num_legit=400, num_fakes=80, seed=51))
+
+
+class TestTransitionMatrices:
+    def test_friendship_matrix_columns_are_stochastic(self):
+        graph = barabasi_albert(100, 3, random.Random(0))
+        matrix = friendship_transition_matrix(graph)
+        sums = matrix.sum(axis=0).A1
+        assert sums == pytest.approx([1.0] * 100)
+
+    def test_isolated_node_column_is_zero(self):
+        graph = AugmentedSocialGraph.from_edges(3, friendships=[(0, 1)])
+        matrix = friendship_transition_matrix(graph)
+        assert matrix.sum(axis=0).A1[2] == 0.0
+
+    def test_weighted_matrix_respects_discounts(self):
+        graph = AugmentedSocialGraph.from_edges(
+            3, friendships=[(0, 1), (0, 2)]
+        )
+        matrix = weighted_transition_matrix(graph, [1.0, 1.0, 0.1])
+        # From node 0, the edge to 2 is discounted 10x vs the edge to 1.
+        to_1 = matrix[1, 0]
+        to_2 = matrix[2, 0]
+        assert to_1 / to_2 == pytest.approx(10.0)
+        assert to_1 + to_2 == pytest.approx(1.0)
+
+    def test_propagate_conserves_mass_on_connected_graph(self):
+        graph = barabasi_albert(200, 3, random.Random(1))
+        matrix = friendship_transition_matrix(graph)
+        trust = propagate(matrix, [0, 5, 9], total_trust=300.0, iterations=6)
+        assert trust.sum() == pytest.approx(300.0)
+
+    def test_propagate_validation(self):
+        graph = AugmentedSocialGraph.from_edges(2, friendships=[(0, 1)])
+        matrix = friendship_transition_matrix(graph)
+        with pytest.raises(ValueError):
+            propagate(matrix, [0], 1.0, iterations=-1)
+
+
+class TestBackendEquivalence:
+    def test_sybilrank_backends_agree(self, scenario):
+        seeds, _ = scenario.sample_seeds(12, 0)
+        python_scores = SybilRank(SybilRankConfig(backend="python")).rank(
+            scenario.graph, seeds
+        )
+        numpy_scores = SybilRank(SybilRankConfig(backend="numpy")).rank(
+            scenario.graph, seeds
+        )
+        for u in range(scenario.num_nodes):
+            assert numpy_scores[u] == pytest.approx(python_scores[u], abs=1e-9)
+
+    def test_sybilfence_backends_agree(self, scenario):
+        seeds, _ = scenario.sample_seeds(12, 0)
+        python_scores = SybilFence(SybilFenceConfig(backend="python")).rank(
+            scenario.graph, seeds
+        )
+        numpy_scores = SybilFence(SybilFenceConfig(backend="numpy")).rank(
+            scenario.graph, seeds
+        )
+        for u in range(scenario.num_nodes):
+            assert numpy_scores[u] == pytest.approx(python_scores[u], abs=1e-9)
+
+    def test_unknown_backend_rejected(self, scenario):
+        seeds, _ = scenario.sample_seeds(5, 0)
+        with pytest.raises(ValueError, match="backend"):
+            SybilRank(SybilRankConfig(backend="gpu")).rank(scenario.graph, seeds)
+        with pytest.raises(ValueError, match="backend"):
+            SybilFence(SybilFenceConfig(backend="gpu")).rank(
+                scenario.graph, seeds
+            )

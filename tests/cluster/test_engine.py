@@ -1,0 +1,145 @@
+"""Tests for the distributed KL engine — headlined by exact equivalence
+with the single-machine implementation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.attacks import ScenarioConfig, build_scenario
+from repro.cluster import (
+    ClusterConfig,
+    ClusterRunStats,
+    DistributedKL,
+    distributed_maar,
+)
+from repro.core import KLConfig, MAARConfig, Partition, extended_kl, solve_maar
+from repro.core.objectives import LEGITIMATE, SUSPICIOUS
+
+from ..conftest import augmented_graphs, random_augmented_graph
+
+
+def rejection_init(graph):
+    return [
+        SUSPICIOUS if graph.rej_in[u] else LEGITIMATE
+        for u in range(graph.num_nodes)
+    ]
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return build_scenario(ScenarioConfig(num_legit=400, num_fakes=80, seed=21))
+
+
+class TestEquivalenceWithCore:
+    @pytest.mark.parametrize("k", [0.125, 1.0, 8.0, 64.0])
+    def test_identical_partitions(self, scenario, k):
+        """The cluster engine implements the same greedy discipline as
+        the core KL; results must match bit for bit."""
+        graph = scenario.graph
+        init = rejection_init(graph)
+        core = extended_kl(
+            graph, k, Partition(graph, init), config=KLConfig(gain_index="bucket")
+        )
+        engine = DistributedKL(graph)
+        sides, f_cross, r_cross = engine.run(k, init)
+        assert sides == core.sides
+        assert (f_cross, r_cross) == (core.f_cross, core.r_cross)
+
+    def test_distributed_maar_matches_core(self, scenario):
+        graph = scenario.graph
+        suspicious, rate, best_k = distributed_maar(
+            graph, maar_config=MAARConfig(k_steps=6)
+        )
+        core = solve_maar(graph, MAARConfig(k_steps=6))
+        assert set(suspicious) == set(core.suspicious_nodes())
+        assert rate == pytest.approx(core.acceptance_rate)
+        assert best_k == core.k
+
+    def test_locked_nodes_respected(self, scenario):
+        graph = scenario.graph
+        init = rejection_init(graph)
+        locked = [False] * graph.num_nodes
+        locked[0] = True
+        locked[graph.num_nodes - 1] = True
+        engine = DistributedKL(graph)
+        sides, _, _ = engine.run(1.0, init, locked=locked)
+        assert sides[0] == init[0]
+        assert sides[-1] == init[-1]
+
+
+class TestAccounting:
+    def test_traffic_and_prefetch_stats_populated(self, scenario):
+        stats = ClusterRunStats()
+        engine = DistributedKL(scenario.graph)
+        engine.run(1.0, rejection_init(scenario.graph), stats=stats)
+        assert stats.passes >= 1
+        assert stats.switches_tested > 0
+        assert stats.network.messages > 0
+        assert stats.network.bytes_sent > 0
+        assert "fetch" in stats.network.by_kind
+        assert "broadcast" in stats.network.by_kind
+
+    def test_prefetching_reduces_fetch_messages(self, scenario):
+        """Section V's claim: batching top-gain nodes into each fetch
+        slashes the master-worker round trips."""
+        graph = scenario.graph
+        init = rejection_init(graph)
+
+        with_prefetch = DistributedKL(
+            graph, ClusterConfig(buffer_capacity=4096, prefetch_batch=64)
+        )
+        with_prefetch.run(1.0, init)
+        batched = with_prefetch.network.stats.by_kind["fetch"]
+
+        without = DistributedKL(graph, ClusterConfig(buffer_capacity=0))
+        without.run(1.0, init)
+        on_demand = without.network.stats.by_kind["fetch"]
+
+        assert batched < on_demand / 5
+
+    def test_prefetch_hit_rate_high(self, scenario):
+        stats = ClusterRunStats()
+        engine = DistributedKL(scenario.graph)
+        engine.run(1.0, rejection_init(scenario.graph), stats=stats)
+        assert stats.prefetch_hit_rate > 0.8
+
+    def test_results_identical_with_and_without_prefetch(self, scenario):
+        """Prefetching is a pure I/O optimization — it must not change
+        the computed partition."""
+        graph = scenario.graph
+        init = rejection_init(graph)
+        a = DistributedKL(graph, ClusterConfig(buffer_capacity=4096)).run(2.0, init)
+        b = DistributedKL(graph, ClusterConfig(buffer_capacity=0)).run(2.0, init)
+        assert a == b
+
+    def test_worker_count_does_not_change_result(self, scenario):
+        graph = scenario.graph
+        init = rejection_init(graph)
+        small = DistributedKL(graph, ClusterConfig(num_workers=2, num_partitions=8))
+        large = DistributedKL(graph, ClusterConfig(num_workers=10, num_partitions=40))
+        assert small.run(1.0, init) == large.run(1.0, init)
+
+
+class TestValidation:
+    def test_invalid_k(self, scenario):
+        engine = DistributedKL(scenario.graph)
+        with pytest.raises(ValueError):
+            engine.run(0.0, rejection_init(scenario.graph))
+
+    def test_sides_length_mismatch(self, scenario):
+        engine = DistributedKL(scenario.graph)
+        with pytest.raises(ValueError):
+            engine.run(1.0, [0, 1])
+
+
+@given(augmented_graphs(max_nodes=18, max_edges=40), st.sampled_from([0.25, 1.0, 4.0]))
+@settings(max_examples=25, deadline=None)
+def test_engine_matches_core_on_random_graphs(graph, k):
+    init = rejection_init(graph)
+    core = extended_kl(
+        graph, k, Partition(graph, init), config=KLConfig(gain_index="bucket")
+    )
+    engine = DistributedKL(graph, ClusterConfig(num_workers=3, num_partitions=5))
+    sides, f_cross, r_cross = engine.run(k, init)
+    assert sides == core.sides
+    assert (f_cross, r_cross) == (core.f_cross, core.r_cross)

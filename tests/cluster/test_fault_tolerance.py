@@ -1,0 +1,133 @@
+"""Fault-tolerance tests: worker failures, replication, and lineage
+recomputation — the Spark behaviours the mini-cluster substrate models."""
+
+import pytest
+
+from repro.attacks import ScenarioConfig, build_scenario
+from repro.cluster import (
+    ClusterConfig,
+    ClusterContext,
+    DataLossError,
+    DistributedKL,
+    NetworkSimulator,
+    WorkerFailure,
+)
+from repro.core import KLConfig, Partition, extended_kl
+from repro.core.objectives import LEGITIMATE, SUSPICIOUS
+
+
+class TestWorkerFailure:
+    def test_failed_worker_refuses_requests(self):
+        context = ClusterContext(2)
+        dataset = context.parallelize(range(10), 2)
+        worker = context.workers[0]
+        worker.fail()
+        with pytest.raises(WorkerFailure):
+            worker.run_task(dataset.partition_key(0), len)
+        with pytest.raises(WorkerFailure):
+            worker.store_partition((9, 9), [1])
+
+    def test_failure_loses_resident_state(self):
+        context = ClusterContext(2)
+        context.parallelize(range(10), 2)
+        worker = context.workers[0]
+        assert worker.memory_records() > 0
+        worker.fail()
+        assert worker.memory_records() == 0
+        assert not worker.alive
+
+
+class TestReplication:
+    def test_replicated_source_survives_one_failure(self):
+        context = ClusterContext(3, replication=2)
+        dataset = context.parallelize(range(30), 6)
+        context.workers[0].fail()
+        assert sorted(dataset.collect()) == list(range(30))
+
+    def test_unreplicated_source_is_lost(self):
+        context = ClusterContext(3, replication=1)
+        dataset = context.parallelize(range(30), 6)
+        context.workers[0].fail()
+        with pytest.raises(DataLossError):
+            dataset.collect()
+
+    def test_all_replicas_down_is_data_loss(self):
+        context = ClusterContext(2, replication=2)
+        dataset = context.parallelize(range(4), 2)
+        for worker in context.workers:
+            worker.fail()
+        with pytest.raises(DataLossError):
+            dataset.collect()
+
+    def test_replication_bounds_validated(self):
+        with pytest.raises(ValueError):
+            ClusterContext(2, replication=3)
+        with pytest.raises(ValueError):
+            ClusterContext(2, replication=0)
+
+    def test_replication_charges_extra_upload(self):
+        net1 = NetworkSimulator()
+        ClusterContext(4, net1, replication=1).parallelize(range(100), 4)
+        net2 = NetworkSimulator()
+        ClusterContext(4, net2, replication=3).parallelize(range(100), 4)
+        assert net2.stats.bytes_sent == pytest.approx(
+            3 * net1.stats.bytes_sent
+        )
+
+
+class TestLineageRecomputation:
+    def test_cached_data_recomputed_on_surviving_replica(self):
+        """A failed worker's cache is gone; the next action recomputes
+        the derived partition from the replicated source (lineage)."""
+        context = ClusterContext(3, replication=2)
+        calls = []
+        dataset = (
+            context.parallelize(range(12), 3)
+            .map(lambda x: calls.append(x) or x * 2)
+            .cache()
+        )
+        assert sorted(dataset.collect()) == [x * 2 for x in range(12)]
+        first_pass = len(calls)
+        context.workers[0].fail()
+        assert sorted(dataset.collect()) == [x * 2 for x in range(12)]
+        # Only the failed worker's partitions were recomputed.
+        assert first_pass < len(calls) < 2 * first_pass
+
+
+class TestEngineUnderFailure:
+    def test_distributed_kl_survives_worker_failure(self):
+        """With replication, the KL engine fails over mid-run data access
+        and still computes the exact same cut."""
+        scenario = build_scenario(
+            ScenarioConfig(num_legit=300, num_fakes=60, seed=61)
+        )
+        graph = scenario.graph
+        init = [
+            SUSPICIOUS if graph.rej_in[u] else LEGITIMATE
+            for u in range(graph.num_nodes)
+        ]
+        reference = extended_kl(
+            graph, 1.0, Partition(graph, init), config=KLConfig(gain_index="bucket")
+        )
+        engine = DistributedKL(
+            graph,
+            ClusterConfig(num_workers=4, num_partitions=8, replication=2),
+        )
+        engine.context.workers[1].fail()  # one worker down before the run
+        sides, f_cross, r_cross = engine.run(1.0, init)
+        assert sides == reference.sides
+        assert (f_cross, r_cross) == (reference.f_cross, reference.r_cross)
+
+    def test_unreplicated_engine_loses_data(self):
+        scenario = build_scenario(
+            ScenarioConfig(num_legit=200, num_fakes=40, seed=62)
+        )
+        graph = scenario.graph
+        init = [0] * graph.num_nodes
+        engine = DistributedKL(
+            graph,
+            ClusterConfig(num_workers=4, num_partitions=8, replication=1),
+        )
+        engine.context.workers[0].fail()
+        with pytest.raises(DataLossError):
+            engine.run(1.0, init)

@@ -1,0 +1,48 @@
+"""Tests for the network simulator."""
+
+import pytest
+
+from repro.cluster import NetworkModel, NetworkSimulator
+
+
+class TestNetworkModel:
+    def test_transfer_time(self):
+        model = NetworkModel(
+            latency_seconds=0.001, bandwidth_bytes_per_second=1_000_000
+        )
+        # 10 messages of 1ms latency + 2MB over 1MB/s.
+        assert model.transfer_time(10, 2_000_000) == pytest.approx(2.01)
+
+    def test_defaults_are_datacenter_like(self):
+        model = NetworkModel()
+        assert model.transfer_time(1, 0) == pytest.approx(0.0002)
+
+
+class TestNetworkSimulator:
+    def test_send_accumulates(self):
+        sim = NetworkSimulator()
+        sim.send("fetch", 100)
+        sim.send("fetch", 50, messages=2)
+        sim.send("broadcast", 10)
+        assert sim.stats.messages == 4
+        assert sim.stats.bytes_sent == 160
+        assert sim.stats.by_kind == {"fetch": 3, "broadcast": 1}
+
+    def test_simulated_seconds(self):
+        sim = NetworkSimulator(NetworkModel(0.001, 1000))
+        sim.send("x", 500, messages=5)
+        assert sim.simulated_seconds == pytest.approx(0.005 + 0.5)
+
+    def test_reset_returns_window(self):
+        sim = NetworkSimulator()
+        sim.send("a", 10)
+        old = sim.reset()
+        assert old.messages == 1
+        assert sim.stats.messages == 0
+
+    def test_negative_values_rejected(self):
+        sim = NetworkSimulator()
+        with pytest.raises(ValueError):
+            sim.send("a", -1)
+        with pytest.raises(ValueError):
+            sim.send("a", 1, messages=-2)

@@ -1,0 +1,97 @@
+"""Tests for the LRU prefetch buffer."""
+
+import pytest
+
+from repro.cluster import PrefetchBuffer
+
+
+def make_store(size=100):
+    """A fake worker store: key -> record, with fetch accounting."""
+    store = {k: f"record-{k}" for k in range(size)}
+    fetches = []
+
+    def fetch_batch(keys):
+        fetches.append(list(keys))
+        return [(k, store[k]) for k in keys if k in store]
+
+    return store, fetch_batch, fetches
+
+
+class TestPrefetchBuffer:
+    def test_miss_then_hit(self):
+        _, fetch, fetches = make_store()
+        buffer = PrefetchBuffer(capacity=10, fetch_batch=fetch, batch_size=4)
+        assert buffer.get(3) == "record-3"
+        assert buffer.stats.misses == 1
+        assert buffer.get(3) == "record-3"
+        assert buffer.stats.hits == 1
+        assert len(fetches) == 1
+
+    def test_prefetch_candidates_ride_along(self):
+        _, fetch, fetches = make_store()
+        buffer = PrefetchBuffer(capacity=10, fetch_batch=fetch, batch_size=4)
+        buffer.get(0, prefetch_candidates=[1, 2, 3, 4, 5])
+        assert fetches[0] == [0, 1, 2, 3]  # batch_size caps the ride-alongs
+        # The prefetched nodes are now hits.
+        buffer.get(1)
+        buffer.get(2)
+        assert buffer.stats.hits == 2
+        assert buffer.stats.fetch_batches == 1
+
+    def test_lru_eviction_order(self):
+        _, fetch, _ = make_store()
+        buffer = PrefetchBuffer(capacity=2, fetch_batch=fetch, batch_size=1)
+        buffer.get(0)
+        buffer.get(1)
+        buffer.get(0)  # refresh 0; 1 is now least recent
+        buffer.get(2)  # evicts 1
+        assert 0 in buffer
+        assert 1 not in buffer
+        assert 2 in buffer
+        assert buffer.stats.evictions == 1
+
+    def test_zero_capacity_disables_caching(self):
+        _, fetch, fetches = make_store()
+        buffer = PrefetchBuffer(capacity=0, fetch_batch=fetch, batch_size=8)
+        buffer.get(0, prefetch_candidates=[1, 2])
+        buffer.get(0)
+        assert buffer.stats.misses == 2
+        assert buffer.stats.hits == 0
+        # No ride-alongs when nothing can be retained.
+        assert fetches == [[0], [0]]
+
+    def test_duplicate_candidates_not_fetched_twice(self):
+        _, fetch, fetches = make_store()
+        buffer = PrefetchBuffer(capacity=10, fetch_batch=fetch, batch_size=8)
+        buffer.get(0, prefetch_candidates=[0, 1, 1, 2])
+        assert fetches[0] == [0, 1, 2]
+
+    def test_missing_key_raises(self):
+        _, fetch, _ = make_store(size=3)
+        buffer = PrefetchBuffer(capacity=4, fetch_batch=fetch, batch_size=2)
+        with pytest.raises(KeyError):
+            buffer.get(99)
+
+    def test_invalidate(self):
+        _, fetch, _ = make_store()
+        buffer = PrefetchBuffer(capacity=4, fetch_batch=fetch, batch_size=1)
+        buffer.get(0)
+        buffer.invalidate(0)
+        buffer.get(0)
+        assert buffer.stats.misses == 2
+
+    def test_hit_rate(self):
+        _, fetch, _ = make_store()
+        buffer = PrefetchBuffer(capacity=10, fetch_batch=fetch, batch_size=1)
+        assert buffer.stats.hit_rate == 0.0
+        buffer.get(0)
+        buffer.get(0)
+        buffer.get(0)
+        assert buffer.stats.hit_rate == pytest.approx(2 / 3)
+
+    def test_invalid_arguments(self):
+        _, fetch, _ = make_store()
+        with pytest.raises(ValueError):
+            PrefetchBuffer(capacity=-1, fetch_batch=fetch)
+        with pytest.raises(ValueError):
+            PrefetchBuffer(capacity=4, fetch_batch=fetch, batch_size=0)

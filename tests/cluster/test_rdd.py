@@ -1,0 +1,186 @@
+"""Tests for the mini-cluster RDD substrate."""
+
+import pytest
+
+from repro.cluster import ClusterContext, NetworkSimulator, estimate_bytes
+
+
+@pytest.fixture
+def context():
+    return ClusterContext(num_workers=3)
+
+
+class TestParallelize:
+    def test_records_distributed_round_robin(self, context):
+        dataset = context.parallelize(range(10), num_partitions=4)
+        assert dataset.num_partitions == 4
+        assert sorted(dataset.collect()) == list(range(10))
+
+    def test_upload_charged(self):
+        net = NetworkSimulator()
+        context = ClusterContext(2, net)
+        context.parallelize(range(100), num_partitions=4)
+        assert net.stats.by_kind.get("upload") == 4
+        assert net.stats.bytes_sent > 0
+
+    def test_invalid_arguments(self, context):
+        with pytest.raises(ValueError):
+            context.parallelize([1], num_partitions=0)
+        with pytest.raises(ValueError):
+            ClusterContext(0)
+
+
+class TestTransformations:
+    def test_map(self, context):
+        dataset = context.parallelize(range(6), 2).map(lambda x: x * x)
+        assert sorted(dataset.collect()) == [0, 1, 4, 9, 16, 25]
+
+    def test_filter(self, context):
+        dataset = context.parallelize(range(10), 3).filter(lambda x: x % 2 == 0)
+        assert sorted(dataset.collect()) == [0, 2, 4, 6, 8]
+
+    def test_flat_map(self, context):
+        dataset = context.parallelize([1, 2], 1).flat_map(lambda x: [x] * x)
+        assert sorted(dataset.collect()) == [1, 2, 2]
+
+    def test_map_partitions(self, context):
+        dataset = context.parallelize(range(8), 2).map_partitions(
+            lambda records: [sum(records)]
+        )
+        assert sum(dataset.collect()) == sum(range(8))
+
+    def test_chained_lineage(self, context):
+        result = (
+            context.parallelize(range(20), 4)
+            .map(lambda x: x + 1)
+            .filter(lambda x: x % 3 == 0)
+            .map(lambda x: x * 10)
+            .collect()
+        )
+        assert sorted(result) == [30, 60, 90, 120, 150, 180]
+
+    def test_transformations_are_lazy(self, context):
+        calls = []
+        dataset = context.parallelize(range(4), 2).map(
+            lambda x: calls.append(x) or x
+        )
+        assert calls == []  # nothing evaluated yet
+        dataset.collect()
+        assert sorted(calls) == [0, 1, 2, 3]
+
+
+class TestCaching:
+    def test_cache_avoids_recomputation(self, context):
+        calls = []
+        dataset = (
+            context.parallelize(range(5), 2)
+            .map(lambda x: calls.append(x) or x)
+            .cache()
+        )
+        dataset.collect()
+        first = len(calls)
+        dataset.collect()
+        assert len(calls) == first  # second action served from cache
+
+    def test_uncached_recomputes(self, context):
+        calls = []
+        dataset = context.parallelize(range(5), 2).map(
+            lambda x: calls.append(x) or x
+        )
+        dataset.collect()
+        dataset.collect()
+        assert len(calls) == 10
+
+
+class TestActions:
+    def test_count_ships_counters_not_data(self):
+        net = NetworkSimulator()
+        context = ClusterContext(2, net)
+        dataset = context.parallelize(range(1000), 4)
+        net.reset()
+        assert dataset.count() == 1000
+        # 4 count messages of 8 bytes each, far below the data size.
+        assert net.stats.bytes_sent == 32
+
+    def test_reduce(self, context):
+        dataset = context.parallelize(range(1, 11), 3)
+        assert dataset.reduce(lambda a, b: a + b) == 55
+
+    def test_reduce_empty_rejected(self, context):
+        dataset = context.parallelize([], 2)
+        with pytest.raises(ValueError):
+            dataset.reduce(lambda a, b: a + b)
+
+
+class TestReduceByKey:
+    def test_word_count_style(self, context):
+        pairs = [("a", 1), ("b", 1), ("a", 1), ("c", 1), ("b", 1), ("a", 1)]
+        dataset = context.parallelize(pairs, 3).reduce_by_key(lambda a, b: a + b)
+        assert dict(dataset.collect()) == {"a": 3, "b": 2, "c": 1}
+
+    def test_shuffle_traffic_charged(self):
+        net = NetworkSimulator()
+        context = ClusterContext(3, net)
+        pairs = [(i % 7, 1) for i in range(200)]
+        dataset = context.parallelize(pairs, 6)
+        net.reset()
+        dataset.reduce_by_key(lambda a, b: a + b)
+        assert net.stats.by_kind.get("shuffle", 0) >= 1
+        assert net.stats.bytes_sent > 0
+
+    def test_custom_output_partitions(self, context):
+        pairs = [(i, i) for i in range(10)]
+        dataset = context.parallelize(pairs, 2).reduce_by_key(
+            lambda a, b: a + b, num_partitions=5
+        )
+        assert dataset.num_partitions == 5
+        assert sorted(dataset.collect()) == [(i, i) for i in range(10)]
+
+
+class TestEstimateBytes:
+    def test_scalar_sizes(self):
+        assert estimate_bytes(7) == 8
+        assert estimate_bytes(3.14) == 8
+        assert estimate_bytes(None) == 1
+        assert estimate_bytes("abcd") == 53
+
+    def test_container_sizes_grow(self):
+        assert estimate_bytes([1, 2, 3]) > estimate_bytes([1])
+        assert estimate_bytes({"k": [1, 2]}) > estimate_bytes({})
+
+    def test_depth_capped(self):
+        nested = [[[[[[[1]]]]]]]
+        assert estimate_bytes(nested) > 0  # no recursion blow-up
+
+
+class TestShuffleProperty:
+    def test_reduce_by_key_matches_counter(self):
+        """Property: the shuffle+reduce agrees with a plain Counter for
+        arbitrary key/value streams."""
+        from collections import Counter
+
+        from hypothesis import given, settings
+        from hypothesis import strategies as st
+
+        @given(
+            st.lists(
+                st.tuples(
+                    st.integers(min_value=-20, max_value=20),
+                    st.integers(min_value=-5, max_value=5),
+                ),
+                max_size=80,
+            ),
+            st.integers(min_value=1, max_value=6),
+        )
+        @settings(max_examples=40, deadline=None)
+        def check(pairs, partitions):
+            context = ClusterContext(3)
+            dataset = context.parallelize(pairs, max(1, partitions)).reduce_by_key(
+                lambda a, b: a + b
+            )
+            expected = Counter()
+            for key, value in pairs:
+                expected[key] += value
+            assert dict(dataset.collect()) == dict(expected)
+
+        check()

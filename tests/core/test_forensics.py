@@ -1,0 +1,91 @@
+"""Tests for post-detection forensics."""
+
+import pytest
+
+from repro.attacks import ScenarioConfig, build_scenario
+from repro.core import (
+    AugmentedSocialGraph,
+    DetectedGroup,
+    Rejecto,
+    RejectoConfig,
+    RejectoResult,
+    analyze_detection,
+)
+
+
+def make_result(members, rate=0.3):
+    return RejectoResult(
+        groups=[
+            DetectedGroup(
+                members=list(members),
+                acceptance_rate=rate,
+                ratio=rate / (1 - rate),
+                f_cross=0,
+                r_cross=0,
+                k=1.0,
+                round_index=0,
+            )
+        ],
+        rounds_run=1,
+        termination="estimated_spammers",
+    )
+
+
+class TestAnalyzeDetection:
+    def test_hand_built_counts(self):
+        graph = AugmentedSocialGraph.from_edges(
+            6,
+            friendships=[(3, 4), (3, 0), (4, 1)],  # one internal, two external
+            rejections=[(0, 3), (1, 3), (1, 4), (5, 3)],
+        )
+        forensics = analyze_detection(graph, make_result([3, 4]))
+        report = forensics.groups[0]
+        assert report.size == 2
+        assert report.internal_friendships == 1
+        assert report.external_friendships == 2
+        assert report.rejections_received == 4
+        assert report.distinct_rejecters == 3  # users 0, 1, 5
+        assert report.members_without_rejections == 0
+        assert report.rejections_per_member == pytest.approx(2.0)
+
+    def test_members_without_evidence_counted(self):
+        graph = AugmentedSocialGraph.from_edges(
+            4, friendships=[(2, 3)], rejections=[(0, 2), (1, 2)]
+        )
+        forensics = analyze_detection(graph, make_result([2, 3]))
+        assert forensics.groups[0].members_without_rejections == 1  # node 3
+
+    def test_intra_group_rejections_not_counted_as_evidence(self):
+        """Self-rejections inside the group are attacker-controlled and
+        must not appear in the external-evidence counters."""
+        graph = AugmentedSocialGraph.from_edges(
+            4, rejections=[(2, 3), (0, 3)]
+        )
+        forensics = analyze_detection(graph, make_result([2, 3]))
+        report = forensics.groups[0]
+        assert report.rejections_received == 1  # only ⟨0, 3⟩
+        assert report.distinct_rejecters == 1
+
+    def test_scenario_integration(self):
+        scenario = build_scenario(
+            ScenarioConfig(num_legit=400, num_fakes=80, seed=71)
+        )
+        result = Rejecto(RejectoConfig(estimated_spammers=80)).detect(
+            scenario.graph
+        )
+        forensics = analyze_detection(scenario.graph, result)
+        assert forensics.groups
+        first = forensics.groups[0]
+        # Evidence consistent with the workload: ~14 rejections per fake.
+        assert first.rejections_per_member == pytest.approx(14.0, abs=2.0)
+        # External friendships ≈ accepted spam (6/fake) + careless edges.
+        assert first.external_friendships > first.size * 4
+        assert "Detection forensics" in forensics.render()
+
+    def test_totals(self):
+        graph = AugmentedSocialGraph.from_edges(
+            4, friendships=[(0, 2)], rejections=[(1, 2)]
+        )
+        forensics = analyze_detection(graph, make_result([2]))
+        assert forensics.total_external_friendships == 1
+        assert forensics.total_rejections == 1

@@ -1,0 +1,216 @@
+"""Tests for the FM bucket list and heap gain indexes."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import BucketGainIndex, HeapGainIndex, make_gain_index
+
+
+def make_bucket(num_nodes=64, max_abs_gain=32, resolution=8):
+    return BucketGainIndex(num_nodes, max_abs_gain, resolution)
+
+
+class TestBucketGainIndex:
+    def test_insert_and_pop_max(self):
+        idx = make_bucket()
+        idx.insert(0, 1.0)
+        idx.insert(1, 3.0)
+        idx.insert(2, -2.0)
+        assert idx.pop_max() == (1, 3.0)
+        assert idx.pop_max() == (0, 1.0)
+        assert idx.pop_max() == (2, -2.0)
+        assert idx.pop_max() is None
+
+    def test_lifo_tie_break(self):
+        idx = make_bucket()
+        idx.insert(5, 1.0)
+        idx.insert(7, 1.0)
+        node, _ = idx.pop_max()
+        assert node == 7  # most recently inserted wins
+
+    def test_fractional_grid_gains(self):
+        idx = make_bucket(resolution=8)
+        idx.insert(0, 0.125)
+        idx.insert(1, -0.375)
+        assert idx.pop_max() == (0, 0.125)
+        assert idx.pop_max() == (1, -0.375)
+
+    def test_off_grid_gain_rejected(self):
+        idx = make_bucket(resolution=8)
+        with pytest.raises(ValueError):
+            idx.insert(0, 0.1)
+
+    def test_adjust_moves_between_buckets(self):
+        idx = make_bucket()
+        idx.insert(0, 1.0)
+        idx.insert(1, 2.0)
+        idx.adjust(0, 4.0)
+        assert idx.gain_of(0) == 5.0
+        assert idx.pop_max() == (0, 5.0)
+
+    def test_adjust_missing_node_raises(self):
+        idx = make_bucket()
+        with pytest.raises(KeyError):
+            idx.adjust(3, 1.0)
+
+    def test_remove_is_idempotent(self):
+        idx = make_bucket()
+        idx.insert(0, 1.0)
+        idx.remove(0)
+        idx.remove(0)
+        assert len(idx) == 0
+        assert 0 not in idx
+
+    def test_duplicate_insert_rejected(self):
+        idx = make_bucket()
+        idx.insert(0, 1.0)
+        with pytest.raises(ValueError):
+            idx.insert(0, 2.0)
+
+    def test_gain_beyond_bound_rejected(self):
+        idx = BucketGainIndex(4, max_abs_gain=2, resolution=1)
+        with pytest.raises(ValueError):
+            idx.insert(0, 10.0)
+
+    def test_contains_and_len(self):
+        idx = make_bucket()
+        idx.insert(3, 0.0)
+        assert 3 in idx
+        assert 4 not in idx
+        assert len(idx) == 1
+
+
+class TestHeapGainIndex:
+    def test_insert_and_pop_max(self):
+        idx = HeapGainIndex()
+        idx.insert(0, 0.7)
+        idx.insert(1, -0.3)
+        idx.insert(2, 2.5)
+        assert idx.pop_max() == (2, 2.5)
+        assert idx.pop_max() == (0, 0.7)
+        assert idx.pop_max() == (1, -0.3)
+        assert idx.pop_max() is None
+
+    def test_accepts_arbitrary_floats(self):
+        idx = HeapGainIndex()
+        idx.insert(0, 0.1)
+        idx.insert(1, 0.3000001)
+        assert idx.pop_max()[0] == 1
+
+    def test_adjust_with_stale_entries(self):
+        idx = HeapGainIndex()
+        idx.insert(0, 10.0)
+        idx.insert(1, 5.0)
+        idx.adjust(0, -8.0)  # stale (10.0) entry remains in the heap
+        assert idx.pop_max() == (1, 5.0)
+        assert idx.pop_max() == (0, 2.0)
+
+    def test_remove_then_pop_skips_node(self):
+        idx = HeapGainIndex()
+        idx.insert(0, 3.0)
+        idx.insert(1, 1.0)
+        idx.remove(0)
+        assert idx.pop_max() == (1, 1.0)
+        assert idx.pop_max() is None
+
+    def test_lifo_tie_break(self):
+        idx = HeapGainIndex()
+        idx.insert(5, 1.0)
+        idx.insert(7, 1.0)
+        assert idx.pop_max()[0] == 7
+
+
+class TestFactory:
+    def test_auto_picks_bucket_on_grid(self):
+        idx = make_gain_index("auto", 8, 16, k=0.25, resolution=8)
+        assert isinstance(idx, BucketGainIndex)
+
+    def test_auto_picks_heap_off_grid(self):
+        idx = make_gain_index("auto", 8, 16, k=0.3, resolution=8)
+        assert isinstance(idx, HeapGainIndex)
+
+    def test_bucket_with_off_grid_k_rejected(self):
+        with pytest.raises(ValueError):
+            make_gain_index("bucket", 8, 16, k=0.3, resolution=8)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            make_gain_index("fibonacci", 8, 16, k=1.0)
+
+
+# ----------------------------------------------------------------------
+# Property tests: both implementations agree with a naive dict reference.
+# ----------------------------------------------------------------------
+
+_ops = st.lists(
+    st.tuples(
+        st.sampled_from(["insert", "adjust", "remove", "pop"]),
+        st.integers(min_value=0, max_value=15),
+        st.integers(min_value=-64, max_value=64),  # gain in eighths
+    ),
+    max_size=60,
+)
+
+
+def _apply_ops(index, ops, resolution=8):
+    """Drive an index and a dict model with the same operation stream."""
+    model = {}
+    results = []
+    for op, node, eighths in ops:
+        gain = eighths / resolution
+        if op == "insert":
+            if node in model:
+                continue
+            model[node] = gain
+            index.insert(node, gain)
+        elif op == "adjust":
+            if node not in model:
+                continue
+            model[node] += gain
+            index.adjust(node, gain)
+        elif op == "remove":
+            model.pop(node, None)
+            index.remove(node)
+        else:  # pop
+            popped = index.pop_max()
+            if model:
+                assert popped is not None
+                pnode, pgain = popped
+                max_gain = max(model.values())
+                assert pgain == pytest.approx(max_gain)
+                assert model[pnode] == pytest.approx(max_gain)
+                del model[pnode]
+            else:
+                assert popped is None
+            results.append(popped)
+        assert len(index) == len(model)
+    return results
+
+
+@given(_ops)
+@settings(max_examples=100, deadline=None)
+def test_bucket_index_matches_dict_model(ops):
+    # max |gain|: 16 ops * 8 eighths each is far below 200.
+    index = BucketGainIndex(16, max_abs_gain=520, resolution=8)
+    _apply_ops(index, ops)
+
+
+@given(_ops)
+@settings(max_examples=100, deadline=None)
+def test_heap_index_matches_dict_model(ops):
+    _apply_ops(HeapGainIndex(), ops)
+
+
+@given(_ops)
+@settings(max_examples=60, deadline=None)
+def test_bucket_and_heap_pop_equal_gains(ops):
+    """Both indexes must pop the same *gain values* for the same stream
+    (popped nodes may differ only within exact ties)."""
+    bucket = BucketGainIndex(16, max_abs_gain=520, resolution=8)
+    heap = HeapGainIndex()
+    bucket_pops = _apply_ops(bucket, ops)
+    heap_pops = _apply_ops(heap, ops)
+    bucket_gains = [p[1] for p in bucket_pops if p is not None]
+    heap_gains = [p[1] for p in heap_pops if p is not None]
+    assert bucket_gains == pytest.approx(heap_gains)

@@ -1,0 +1,226 @@
+"""Unit tests for the rejection-augmented social graph."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import AugmentedSocialGraph, GraphError
+
+from ..conftest import augmented_graphs
+
+
+class TestConstruction:
+    def test_empty_graph(self):
+        graph = AugmentedSocialGraph(0)
+        assert len(graph) == 0
+        assert graph.num_friendships == 0
+        assert graph.num_rejections == 0
+
+    def test_negative_node_count_rejected(self):
+        with pytest.raises(GraphError):
+            AugmentedSocialGraph(-1)
+
+    def test_from_edges(self):
+        graph = AugmentedSocialGraph.from_edges(
+            3, friendships=[(0, 1)], rejections=[(2, 0)]
+        )
+        assert graph.has_friendship(0, 1)
+        assert graph.has_rejection(2, 0)
+
+    def test_add_node_returns_new_id(self):
+        graph = AugmentedSocialGraph(2)
+        assert graph.add_node() == 2
+        assert len(graph) == 3
+        graph.add_friendship(0, 2)
+        assert graph.has_friendship(2, 0)
+
+    def test_add_nodes_bulk(self):
+        graph = AugmentedSocialGraph(1)
+        ids = graph.add_nodes(3)
+        assert ids == [1, 2, 3]
+        with pytest.raises(GraphError):
+            graph.add_nodes(-1)
+
+
+class TestFriendships:
+    def test_friendship_is_symmetric(self):
+        graph = AugmentedSocialGraph(3)
+        graph.add_friendship(0, 2)
+        assert graph.has_friendship(0, 2)
+        assert graph.has_friendship(2, 0)
+        assert 2 in graph.friends[0]
+        assert 0 in graph.friends[2]
+
+    def test_duplicate_friendship_ignored(self):
+        graph = AugmentedSocialGraph(2)
+        assert graph.add_friendship(0, 1) is True
+        assert graph.add_friendship(1, 0) is False
+        assert graph.num_friendships == 1
+        assert graph.degree(0) == 1
+
+    def test_self_friendship_rejected(self):
+        graph = AugmentedSocialGraph(2)
+        with pytest.raises(GraphError):
+            graph.add_friendship(1, 1)
+
+    def test_out_of_range_rejected(self):
+        graph = AugmentedSocialGraph(2)
+        with pytest.raises(GraphError):
+            graph.add_friendship(0, 2)
+        with pytest.raises(GraphError):
+            graph.add_friendship(-1, 0)
+
+
+class TestRejections:
+    def test_rejection_is_directed(self):
+        graph = AugmentedSocialGraph(2)
+        graph.add_rejection(0, 1)
+        assert graph.has_rejection(0, 1)
+        assert not graph.has_rejection(1, 0)
+        assert graph.rejections_cast(0) == 1
+        assert graph.rejections_received(1) == 1
+        assert graph.rejections_received(0) == 0
+
+    def test_opposite_direction_is_distinct_edge(self):
+        graph = AugmentedSocialGraph(2)
+        graph.add_rejection(0, 1)
+        graph.add_rejection(1, 0)
+        assert graph.num_rejections == 2
+
+    def test_duplicate_rejection_collapses(self):
+        # The paper collapses repeated rejections between a pair into one edge.
+        graph = AugmentedSocialGraph(2)
+        assert graph.add_rejection(0, 1) is True
+        assert graph.add_rejection(0, 1) is False
+        assert graph.num_rejections == 1
+
+    def test_self_rejection_edge_rejected(self):
+        graph = AugmentedSocialGraph(2)
+        with pytest.raises(GraphError):
+            graph.add_rejection(0, 0)
+
+    def test_friendship_and_rejection_can_coexist(self):
+        # v may have rejected u's first request and accepted a later one.
+        graph = AugmentedSocialGraph(2)
+        graph.add_rejection(0, 1)
+        graph.add_friendship(0, 1)
+        assert graph.has_rejection(0, 1)
+        assert graph.has_friendship(0, 1)
+
+
+class TestDerivedGraphs:
+    def test_copy_is_independent(self):
+        graph = AugmentedSocialGraph.from_edges(3, [(0, 1)], [(2, 0)])
+        clone = graph.copy()
+        clone.add_friendship(1, 2)
+        clone.add_rejection(0, 1)
+        assert not graph.has_friendship(1, 2)
+        assert not graph.has_rejection(0, 1)
+        assert graph.num_friendships == 1
+
+    def test_subgraph_keeps_internal_edges_only(self):
+        graph = AugmentedSocialGraph.from_edges(
+            4,
+            friendships=[(0, 1), (1, 2), (2, 3)],
+            rejections=[(0, 2), (3, 1), (0, 3)],
+        )
+        sub, old_ids = graph.subgraph([0, 1, 2])
+        assert old_ids == [0, 1, 2]
+        assert sub.num_nodes == 3
+        assert sub.has_friendship(0, 1) and sub.has_friendship(1, 2)
+        assert sub.num_friendships == 2  # (2, 3) dropped
+        assert sub.has_rejection(0, 2)
+        assert sub.num_rejections == 1  # edges touching node 3 dropped
+
+    def test_subgraph_remaps_ids(self):
+        graph = AugmentedSocialGraph.from_edges(5, [(1, 4)], [(4, 1)])
+        sub, old_ids = graph.subgraph([4, 1])
+        assert old_ids == [1, 4]
+        assert sub.has_friendship(0, 1)
+        assert sub.has_rejection(1, 0)
+
+    def test_subgraph_deduplicates_keep_list(self):
+        graph = AugmentedSocialGraph(3)
+        sub, old_ids = graph.subgraph([2, 2, 0])
+        assert old_ids == [0, 2]
+        assert sub.num_nodes == 2
+
+    def test_merged_with_offsets_ids(self):
+        a = AugmentedSocialGraph.from_edges(2, [(0, 1)])
+        b = AugmentedSocialGraph.from_edges(3, [(0, 2)], [(1, 0)])
+        merged = a.merged_with(b)
+        assert merged.num_nodes == 5
+        assert merged.has_friendship(0, 1)
+        assert merged.has_friendship(2, 4)
+        assert merged.has_rejection(3, 2)
+
+
+class TestNetworkxInterop:
+    def test_roundtrip(self):
+        graph = AugmentedSocialGraph.from_edges(
+            4, friendships=[(0, 1), (2, 3)], rejections=[(1, 3), (3, 1)]
+        )
+        fg, rg = graph.to_networkx()
+        back = AugmentedSocialGraph.from_networkx(fg, rg)
+        assert set(back.friendships()) == set(graph.friendships())
+        assert set(back.rejections()) == set(graph.rejections())
+
+    def test_from_networkx_rejects_non_integer_labels(self):
+        import networkx as nx
+
+        g = nx.Graph()
+        g.add_edge("a", "b")
+        with pytest.raises(GraphError):
+            AugmentedSocialGraph.from_networkx(g)
+
+
+@given(augmented_graphs())
+@settings(max_examples=50, deadline=None)
+def test_adjacency_consistency(graph):
+    """Adjacency lists, edge sets, and counters always agree."""
+    # Friendship symmetry and count.
+    pair_count = 0
+    for u in graph.nodes():
+        for v in graph.friends[u]:
+            assert u in graph.friends[v]
+            pair_count += 1
+    assert pair_count == 2 * graph.num_friendships
+    # Rejection in/out duality and count.
+    out_count = 0
+    for u in graph.nodes():
+        for v in graph.rej_out[u]:
+            assert u in graph.rej_in[v]
+            out_count += 1
+    assert out_count == graph.num_rejections
+    # No duplicates in adjacency lists.
+    for u in graph.nodes():
+        assert len(set(graph.friends[u])) == len(graph.friends[u])
+        assert len(set(graph.rej_out[u])) == len(graph.rej_out[u])
+        assert len(set(graph.rej_in[u])) == len(graph.rej_in[u])
+
+
+@given(augmented_graphs(), st.data())
+@settings(max_examples=30, deadline=None)
+def test_subgraph_preserves_induced_edges(graph, data):
+    keep = data.draw(
+        st.lists(
+            st.integers(min_value=0, max_value=graph.num_nodes - 1),
+            min_size=1,
+            unique=True,
+        )
+    )
+    sub, old_ids = graph.subgraph(keep)
+    kept = set(old_ids)
+    expected_friendships = {
+        (u, v) for u, v in graph.friendships() if u in kept and v in kept
+    }
+    expected_rejections = {
+        (u, v) for u, v in graph.rejections() if u in kept and v in kept
+    }
+    back = {new: old for new, old in enumerate(old_ids)}
+    got_friendships = {
+        tuple(sorted((back[u], back[v]))) for u, v in sub.friendships()
+    }
+    got_rejections = {(back[u], back[v]) for u, v in sub.rejections()}
+    assert got_friendships == {tuple(sorted(e)) for e in expected_friendships}
+    assert got_rejections == expected_rejections

@@ -1,0 +1,90 @@
+"""Cross-module integration tests: the paper's claims end to end."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.attacks import ScenarioConfig, build_scenario
+from repro.core import MAARConfig, Rejecto, RejectoConfig, solve_maar
+
+from ..conftest import augmented_graphs
+
+
+class TestEndToEnd:
+    def test_baseline_detection_is_accurate(self):
+        scenario = build_scenario(ScenarioConfig(num_legit=600, num_fakes=120))
+        result = Rejecto(RejectoConfig(estimated_spammers=120)).detect(
+            scenario.graph
+        )
+        metrics = scenario.precision_recall(result.detected(limit=120))
+        assert metrics.precision > 0.95
+
+    def test_detected_cut_rate_matches_spam_acceptance(self):
+        """The first detected group's aggregate acceptance rate should
+        sit at the simulated spam acceptance rate (~0.3 plus the
+        careless users' accepted requests)."""
+        scenario = build_scenario(
+            ScenarioConfig(num_legit=600, num_fakes=120, careless_fraction=0.0)
+        )
+        result = Rejecto(RejectoConfig(estimated_spammers=120)).detect(
+            scenario.graph
+        )
+        assert result.groups
+        assert result.groups[0].acceptance_rate == pytest.approx(0.3, abs=0.05)
+
+    def test_same_seed_same_detection(self):
+        config = ScenarioConfig(num_legit=400, num_fakes=80, seed=23)
+        runs = []
+        for _ in range(2):
+            scenario = build_scenario(config)
+            result = Rejecto(RejectoConfig(estimated_spammers=80)).detect(
+                scenario.graph
+            )
+            runs.append(result.detected())
+        assert runs[0] == runs[1]
+
+    def test_groups_are_disjoint_and_in_range(self):
+        scenario = build_scenario(ScenarioConfig(num_legit=400, num_fakes=80))
+        result = Rejecto(RejectoConfig(max_rounds=5)).detect(scenario.graph)
+        seen = set()
+        for group in result.groups:
+            members = set(group.members)
+            assert not members & seen
+            assert all(0 <= u < scenario.num_nodes for u in members)
+            seen |= members
+
+
+@given(augmented_graphs(max_nodes=20, max_edges=50))
+@settings(max_examples=30, deadline=None)
+def test_solve_maar_result_is_always_valid(graph):
+    """Property: any returned cut satisfies the validity constraints and
+    its reported acceptance rate matches a recount."""
+    config = MAARConfig(k_steps=4)
+    result = solve_maar(graph, config)
+    if not result.found:
+        return
+    partition = result.partition
+    assert partition.verify_counts()
+    assert partition.r_cross > 0
+    assert (
+        config.min_suspicious
+        <= partition.suspicious_size
+        <= config.max_suspicious_fraction * graph.num_nodes
+    )
+    assert result.acceptance_rate == pytest.approx(partition.acceptance_rate())
+
+
+@given(augmented_graphs(max_nodes=18, max_edges=40), st.data())
+@settings(max_examples=30, deadline=None)
+def test_rejecto_never_detects_legit_seeds(graph, data):
+    """Property: pinned legitimate seeds survive every round."""
+    seeds = data.draw(
+        st.lists(
+            st.integers(min_value=0, max_value=graph.num_nodes - 1),
+            unique=True,
+            max_size=5,
+        )
+    )
+    config = RejectoConfig(maar=MAARConfig(k_steps=3), max_rounds=4)
+    result = Rejecto(config).detect(graph, legit_seeds=seeds)
+    assert not result.detected_set() & set(seeds)

@@ -1,0 +1,192 @@
+"""Tests for the extended Kernighan-Lin search."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    AugmentedSocialGraph,
+    KLConfig,
+    KLStats,
+    Partition,
+    cut_counts,
+    extended_kl,
+)
+
+from ..conftest import augmented_graphs, random_augmented_graph
+
+
+def planted_spam_graph():
+    """Two legit cliques plus a fake group mostly rejected by legit users."""
+    graph = AugmentedSocialGraph(9)
+    for group in ([0, 1, 2], [3, 4, 5]):
+        for i in group:
+            for j in group:
+                if i < j:
+                    graph.add_friendship(i, j)
+    graph.add_friendship(2, 3)  # bridge between legit cliques
+    fakes = [6, 7, 8]
+    for f in fakes:
+        graph.add_friendship(f, (f + 1 - 6) % 3 + 6)
+    # Each fake: one accepted request, four rejections.
+    accepted = {6: 0, 7: 3, 8: 5}
+    for f, friend in accepted.items():
+        graph.add_friendship(f, friend)
+    for f in fakes:
+        for legit in range(1, 5):
+            rejecter = (accepted[f] + legit) % 6
+            graph.add_rejection(rejecter, f)
+    return graph, fakes
+
+
+class TestExtendedKL:
+    def test_separates_planted_spammers(self):
+        graph, fakes = planted_spam_graph()
+        result = extended_kl(graph, k=1.0, initial=Partition.all_legitimate(graph))
+        assert sorted(result.suspicious_nodes()) == fakes
+
+    def test_counters_remain_consistent(self):
+        graph, _ = planted_spam_graph()
+        result = extended_kl(graph, k=2.0, initial=Partition.all_legitimate(graph))
+        assert result.verify_counts()
+
+    def test_does_not_mutate_initial_partition(self):
+        graph, _ = planted_spam_graph()
+        init = Partition.all_legitimate(graph)
+        extended_kl(graph, k=1.0, initial=init)
+        assert init.suspicious_size == 0
+        assert init.f_cross == 0
+
+    def test_objective_never_increases_across_passes(self):
+        graph = random_augmented_graph(60, 150, 120, seed=3)
+        stats = KLStats()
+        k = 2.0
+        extended_kl(
+            graph, k, Partition.all_legitimate(graph), stats=stats
+        )
+        history = stats.objective_history
+        assert history == sorted(history, reverse=True)
+
+    def test_result_is_single_switch_local_minimum(self):
+        """After convergence, no single unlocked switch can strictly
+        improve the objective (within the applied-prefix semantics)."""
+        graph = random_augmented_graph(40, 100, 80, seed=7)
+        k = 1.0
+        result = extended_kl(graph, k, Partition.all_legitimate(graph))
+        for u in range(graph.num_nodes):
+            assert result.switch_gain(u, k) <= 1e-9
+
+    def test_locked_nodes_never_switch(self):
+        graph, fakes = planted_spam_graph()
+        locked = [False] * graph.num_nodes
+        locked[0] = True  # legit seed on side 0
+        locked[6] = True  # spammer seed pre-placed on side 1
+        init = Partition.from_suspicious_set(graph, [6])
+        result = extended_kl(graph, k=1.0, initial=init, locked=locked)
+        assert result.sides[0] == 0
+        assert result.sides[6] == 1
+
+    def test_all_locked_is_identity(self):
+        graph, _ = planted_spam_graph()
+        init = Partition.from_suspicious_set(graph, [1, 7])
+        result = extended_kl(
+            graph, k=1.0, initial=init, locked=[True] * graph.num_nodes
+        )
+        assert result.sides == init.sides
+
+    def test_invalid_k_rejected(self):
+        graph = AugmentedSocialGraph(2)
+        with pytest.raises(ValueError):
+            extended_kl(graph, k=0.0, initial=Partition.all_legitimate(graph))
+
+    def test_locked_length_mismatch_rejected(self):
+        graph = AugmentedSocialGraph(3)
+        with pytest.raises(ValueError):
+            extended_kl(
+                graph, 1.0, Partition.all_legitimate(graph), locked=[True]
+            )
+
+    def test_empty_graph(self):
+        graph = AugmentedSocialGraph(0)
+        result = extended_kl(graph, 1.0, Partition.all_legitimate(graph))
+        assert result.sides == []
+
+    def test_isolated_nodes_stay_put(self):
+        """Isolated nodes have zero gain; they must not flap across sides."""
+        graph = AugmentedSocialGraph(5)
+        graph.add_rejection(0, 1)
+        result = extended_kl(graph, 4.0, Partition.all_legitimate(graph))
+        # Node 1 should be suspicious (gain k - 0 > 0); isolated 2..4 stay.
+        assert result.sides[1] == 1
+        assert result.sides[2:] == [0, 0, 0]
+
+    def test_stall_limit_terminates_early(self):
+        graph = random_augmented_graph(80, 200, 150, seed=11)
+        full_stats = KLStats()
+        extended_kl(
+            graph, 1.0, Partition.all_legitimate(graph), stats=full_stats
+        )
+        capped_stats = KLStats()
+        extended_kl(
+            graph,
+            1.0,
+            Partition.all_legitimate(graph),
+            config=KLConfig(stall_limit=5),
+            stats=capped_stats,
+        )
+        assert capped_stats.switches_tested < full_stats.switches_tested
+
+
+class TestGainIndexEquivalence:
+    @pytest.mark.parametrize("k", [0.125, 0.5, 1.0, 4.0, 64.0])
+    def test_bucket_and_heap_reach_same_objective(self, k):
+        """Both gain containers implement the same greedy discipline, so
+        the full pass must produce identical cuts."""
+        graph = random_augmented_graph(60, 150, 120, seed=5)
+        init = Partition.all_legitimate(graph)
+        bucket = extended_kl(
+            graph, k, init, config=KLConfig(gain_index="bucket")
+        )
+        heap = extended_kl(graph, k, init, config=KLConfig(gain_index="heap"))
+        assert bucket.objective(k) == pytest.approx(heap.objective(k))
+
+    def test_heap_handles_off_grid_k(self):
+        graph = random_augmented_graph(30, 60, 60, seed=9)
+        result = extended_kl(
+            graph,
+            0.3,
+            Partition.all_legitimate(graph),
+            config=KLConfig(gain_index="auto"),
+        )
+        assert result.verify_counts()
+
+
+@given(augmented_graphs(max_nodes=16, max_edges=40), st.sampled_from([0.25, 1.0, 4.0]))
+@settings(max_examples=40, deadline=None)
+def test_kl_never_worsens_the_initial_objective(graph, k):
+    init = Partition.all_legitimate(graph)
+    result = extended_kl(graph, k, init)
+    assert result.objective(k) <= init.objective(k) + 1e-9
+    assert (result.f_cross, result.r_cross) == cut_counts(graph, result.sides)
+
+
+@given(augmented_graphs(max_nodes=14, max_edges=30), st.data())
+@settings(max_examples=40, deadline=None)
+def test_kl_respects_arbitrary_locks(graph, data):
+    locked = data.draw(
+        st.lists(
+            st.booleans(), min_size=graph.num_nodes, max_size=graph.num_nodes
+        )
+    )
+    sides = data.draw(
+        st.lists(
+            st.integers(min_value=0, max_value=1),
+            min_size=graph.num_nodes,
+            max_size=graph.num_nodes,
+        )
+    )
+    init = Partition(graph, sides)
+    result = extended_kl(graph, 1.0, init, locked=locked)
+    for u, is_locked in enumerate(locked):
+        if is_locked:
+            assert result.sides[u] == sides[u]

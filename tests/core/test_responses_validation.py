@@ -1,0 +1,186 @@
+"""Tests for the §VII response policy and the graph validator."""
+
+import pytest
+
+from repro.core import (
+    Action,
+    AugmentedSocialGraph,
+    DetectedGroup,
+    GraphValidationError,
+    RejectoResult,
+    ResponsePolicy,
+    assert_valid_graph,
+    validate_graph,
+)
+
+
+def group(members, rate, round_index=0):
+    return DetectedGroup(
+        members=list(members),
+        acceptance_rate=rate,
+        ratio=rate / (1 - rate) if rate < 1 else float("inf"),
+        f_cross=0,
+        r_cross=0,
+        k=1.0,
+        round_index=round_index,
+    )
+
+
+class TestResponsePolicy:
+    def test_actions_by_evidence_strength(self):
+        policy = ResponsePolicy(suspend_below=0.2, rate_limit_below=0.4)
+        assert policy.action_for_rate(0.1) is Action.SUSPEND
+        assert policy.action_for_rate(0.2) is Action.SUSPEND
+        assert policy.action_for_rate(0.3) is Action.RATE_LIMIT
+        assert policy.action_for_rate(0.5) is Action.CAPTCHA
+
+    def test_plan_over_groups(self):
+        result = RejectoResult(
+            groups=[
+                group([1, 2], rate=0.1, round_index=0),
+                group([3], rate=0.35, round_index=1),
+                group([4, 5], rate=0.55, round_index=2),
+            ],
+            rounds_run=3,
+            termination="estimated_spammers",
+        )
+        plan = ResponsePolicy().plan(result)
+        assert len(plan) == 5
+        assert plan.accounts_for(Action.SUSPEND) == [1, 2]
+        assert plan.accounts_for(Action.RATE_LIMIT) == [3]
+        assert plan.accounts_for(Action.CAPTCHA) == [4, 5]
+        assert plan.counts() == {
+            Action.SUSPEND: 2,
+            Action.RATE_LIMIT: 1,
+            Action.CAPTCHA: 2,
+        }
+
+    def test_graduation_tolerates_false_positives(self):
+        """The paper's point: borderline evidence gets reversible
+        friction, not suspension."""
+        plan = ResponsePolicy().plan(
+            RejectoResult(
+                groups=[group([9], rate=0.45)],
+                rounds_run=1,
+                termination="no_cut",
+            )
+        )
+        assert plan.actions[9] is Action.CAPTCHA
+
+    def test_invalid_thresholds(self):
+        with pytest.raises(ValueError):
+            ResponsePolicy(suspend_below=0.5, rate_limit_below=0.3)
+        with pytest.raises(ValueError):
+            ResponsePolicy(suspend_below=-0.1)
+
+    def test_empty_result(self):
+        plan = ResponsePolicy().plan(
+            RejectoResult(groups=[], rounds_run=0, termination="no_cut")
+        )
+        assert len(plan) == 0
+        assert plan.counts()[Action.SUSPEND] == 0
+
+
+class TestValidateGraph:
+    def test_valid_graph_passes(self):
+        graph = AugmentedSocialGraph.from_edges(
+            5, friendships=[(0, 1), (2, 3)], rejections=[(4, 0), (0, 4)]
+        )
+        assert validate_graph(graph) == []
+        assert_valid_graph(graph)  # does not raise
+
+    def test_broken_symmetry_detected(self):
+        graph = AugmentedSocialGraph.from_edges(3, friendships=[(0, 1)])
+        graph.friends[0].remove(1)  # corrupt one direction
+        problems = validate_graph(graph)
+        assert any("not symmetric" in p or "absent" in p for p in problems)
+        with pytest.raises(GraphValidationError):
+            assert_valid_graph(graph)
+
+    def test_dangling_rejection_detected(self):
+        graph = AugmentedSocialGraph.from_edges(3, rejections=[(0, 1)])
+        graph.rej_in[1].remove(0)
+        problems = validate_graph(graph)
+        assert any("rej_in" in p for p in problems)
+
+    def test_out_of_range_adjacency_detected(self):
+        graph = AugmentedSocialGraph.from_edges(3, friendships=[(0, 1)])
+        graph.friends[0].append(99)
+        problems = validate_graph(graph)
+        assert any("out-of-range" in p for p in problems)
+
+    def test_duplicate_adjacency_detected(self):
+        graph = AugmentedSocialGraph.from_edges(3, friendships=[(0, 1)])
+        graph.friends[0].append(1)
+        problems = validate_graph(graph)
+        assert any("duplicates" in p for p in problems)
+
+    def test_count_mismatch_detected(self):
+        graph = AugmentedSocialGraph.from_edges(3, friendships=[(0, 1)])
+        graph._friend_set.add((0, 2))  # edge set lies about an edge
+        problems = validate_graph(graph)
+        assert problems
+
+
+class TestRequestLogToGraph:
+    def test_conversion(self):
+        from repro.attacks import RequestLog
+
+        log = RequestLog()
+        log.record(0, 1, True)
+        log.record(2, 0, False)
+        graph = log.to_augmented_graph()
+        assert graph.num_nodes == 3
+        assert graph.has_friendship(0, 1)
+        assert graph.has_rejection(0, 2)  # target 0 rejected sender 2
+        assert validate_graph(graph) == []
+
+    def test_explicit_user_count(self):
+        from repro.attacks import RequestLog
+
+        log = RequestLog()
+        log.record(0, 1, True)
+        graph = log.to_augmented_graph(num_users=10)
+        assert graph.num_nodes == 10
+
+    def test_matches_scenario_graph(self):
+        """Rebuilding the graph from the scenario's own request log must
+        reproduce the scenario's graph exactly."""
+        from repro.attacks import ScenarioConfig, build_scenario
+
+        scenario = build_scenario(
+            ScenarioConfig(num_legit=200, num_fakes=40, seed=19)
+        )
+        rebuilt = scenario.request_log.to_augmented_graph(
+            num_users=scenario.num_nodes
+        )
+        assert set(rebuilt.friendships()) == set(scenario.graph.friendships())
+        assert set(rebuilt.rejections()) == set(scenario.graph.rejections())
+
+    def test_detect_cli_from_requests(self, tmp_path):
+        import io as iomod
+
+        from repro.attacks import ScenarioConfig, build_scenario
+        from repro.cli import _run_command, build_parser
+        from repro.io import save_request_log
+
+        scenario = build_scenario(
+            ScenarioConfig(num_legit=200, num_fakes=40, seed=20)
+        )
+        log_path = tmp_path / "requests.csv"
+        save_request_log(scenario.request_log, log_path)
+        args = build_parser().parse_args(
+            [
+                "detect",
+                "--requests",
+                str(log_path),
+                "--estimated",
+                "40",
+                "--actions",
+            ]
+        )
+        out = iomod.StringIO()
+        _run_command(args, out=out)
+        text = out.getvalue()
+        assert "total detected: " in text
+        assert "response plan" in text

@@ -1,0 +1,70 @@
+"""Tests for the seed-selection strategies."""
+
+import random
+
+import pytest
+
+from repro.core import (
+    community_seeds,
+    degree_stratified_seeds,
+    random_seeds,
+)
+from repro.graphgen import barabasi_albert
+
+
+class TestRandomSeeds:
+    def test_sampled_from_candidates(self):
+        seeds = random_seeds(range(100), 10, random.Random(0))
+        assert len(seeds) == 10
+        assert all(0 <= s < 100 for s in seeds)
+        assert seeds == sorted(seeds)
+
+    def test_count_capped_at_pool(self):
+        assert len(random_seeds([1, 2, 3], 10)) == 3
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            random_seeds([1], -1)
+
+
+class TestDegreeStratifiedSeeds:
+    def test_covers_degree_spectrum(self):
+        graph = barabasi_albert(400, 3, random.Random(1))
+        seeds = degree_stratified_seeds(
+            graph, range(400), 20, random.Random(2), strata=4
+        )
+        assert len(seeds) == 20
+        degrees = sorted(len(graph.friends[s]) for s in seeds)
+        all_degrees = sorted(len(adj) for adj in graph.friends)
+        # Seeds include both low-degree (bottom quartile) and
+        # high-degree (top quartile) users.
+        assert degrees[0] <= all_degrees[len(all_degrees) // 4]
+        assert degrees[-1] >= all_degrees[3 * len(all_degrees) // 4]
+
+    def test_empty_pool(self):
+        graph = barabasi_albert(10, 2, random.Random(0))
+        assert degree_stratified_seeds(graph, [], 5) == []
+
+    def test_validation(self):
+        graph = barabasi_albert(10, 2, random.Random(0))
+        with pytest.raises(ValueError):
+            degree_stratified_seeds(graph, [0], -1)
+        with pytest.raises(ValueError):
+            degree_stratified_seeds(graph, [0], 1, strata=0)
+
+
+class TestCommunitySeeds:
+    def test_round_robin_coverage(self):
+        labels = [0] * 30 + [1] * 30 + [2] * 30
+        seeds = community_seeds(labels, 9, random.Random(3))
+        assert len(seeds) == 9
+        per_community = [sum(1 for s in seeds if labels[s] == c) for c in range(3)]
+        assert per_community == [3, 3, 3]
+
+    def test_count_beyond_population(self):
+        seeds = community_seeds([0, 1], 10)
+        assert sorted(seeds) == [0, 1]
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            community_seeds([0], -2)

@@ -1,0 +1,103 @@
+"""Tests for interval-sharded detection (Section VII)."""
+
+import random
+
+import pytest
+
+from repro.attacks import CompromiseEvent, TimelineConfig, simulate_timeline
+from repro.core import (
+    AugmentedSocialGraph,
+    MAARConfig,
+    RejectoConfig,
+    detect_over_shards,
+)
+from repro.graphgen import powerlaw_cluster
+
+
+@pytest.fixture(scope="module")
+def compromised_world():
+    """600 users; 40 are compromised on day 2 of a 4-day window."""
+    rng = random.Random(11)
+    base = powerlaw_cluster(600, 4.0, 0.68, rng)
+    compromised = sorted(rng.sample(range(600), 40))
+    timeline = simulate_timeline(
+        base,
+        [CompromiseEvent(u, 2) for u in compromised],
+        TimelineConfig(num_days=4, spam_daily_requests=15),
+        rng,
+    )
+    return timeline, compromised
+
+
+class TestDetectOverShards:
+    def test_compromise_detected_in_onset_interval(self, compromised_world):
+        """With the paper's acceptance-threshold termination, shards
+        without real spam produce no flags at all, and the onset
+        interval pinpoints the compromised accounts."""
+        timeline, compromised = compromised_world
+        config = RejectoConfig(
+            maar=MAARConfig(k_steps=8),
+            estimated_spammers=len(compromised),
+            acceptance_threshold=0.6,  # well below legit ~0.8 acceptance
+        )
+        result = detect_over_shards(timeline.daily_shards(), config)
+        assert result.num_intervals == 4
+        # Pre-compromise intervals: the best cut looks like normal users,
+        # so the threshold stops detection before flagging anyone.
+        assert not result.flagged(0)
+        assert not result.flagged(1)
+        # The onset interval flags (most of) the compromised accounts...
+        onset = result.flagged(2)
+        assert len(onset & set(compromised)) > 30
+        # ...with near-perfect precision, and first_flagged pinpoints
+        # the compromise day.
+        assert len(onset & set(compromised)) > 0.9 * len(onset)
+        newly = result.newly_flagged(2)
+        assert len(newly & set(compromised)) > 30
+
+    def test_flagged_union(self, compromised_world):
+        timeline, compromised = compromised_world
+        config = RejectoConfig(
+            maar=MAARConfig(k_steps=6),
+            estimated_spammers=len(compromised),
+        )
+        result = detect_over_shards(timeline.daily_shards(), config)
+        union = result.flagged()
+        assert union == set(result.first_flagged)
+        for interval in range(result.num_intervals):
+            assert result.flagged(interval) <= union
+
+    def test_flag_counts_shape(self, compromised_world):
+        timeline, compromised = compromised_world
+        config = RejectoConfig(
+            maar=MAARConfig(k_steps=6),
+            estimated_spammers=len(compromised),
+        )
+        result = detect_over_shards(timeline.daily_shards(), config)
+        counts = result.flag_counts()
+        assert len(counts) == 4
+        # Post-compromise intervals flag far more than pre-compromise.
+        assert counts[2] > counts[0]
+
+    def test_empty_shards_rejected(self):
+        with pytest.raises(ValueError):
+            detect_over_shards([])
+
+    def test_mismatched_populations_rejected(self):
+        with pytest.raises(ValueError, match="disagree"):
+            detect_over_shards(
+                [AugmentedSocialGraph(3), AugmentedSocialGraph(4)]
+            )
+
+    def test_seeds_apply_to_every_interval(self, compromised_world):
+        timeline, compromised = compromised_world
+        legit = [u for u in range(timeline.num_users) if u not in compromised]
+        seeds = legit[:10]
+        config = RejectoConfig(
+            maar=MAARConfig(k_steps=6),
+            estimated_spammers=len(compromised),
+        )
+        result = detect_over_shards(
+            timeline.daily_shards(), config, legit_seeds=seeds
+        )
+        assert not result.flagged() & set(seeds)

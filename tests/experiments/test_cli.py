@@ -1,0 +1,113 @@
+"""Tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import _run_command, build_parser
+
+
+def run_cli(argv):
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    out = io.StringIO()
+    _run_command(args, out=out)
+    return out.getvalue()
+
+
+class TestParser:
+    def test_all_commands_registered(self):
+        parser = build_parser()
+        for command in [
+            "fig1",
+            "fig9",
+            "fig10",
+            "fig11",
+            "fig12",
+            "fig13",
+            "fig14",
+            "fig15",
+            "fig16",
+            "fig17",
+            "fig18",
+            "table1",
+            "table2",
+            "all",
+        ]:
+            args = parser.parse_args([command])
+            assert args.command == command
+
+    def test_missing_command_exits(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig99"])
+
+
+class TestCommands:
+    def test_table1(self):
+        output = run_cli(["table1", "--scale", "0.03"])
+        assert "Table I" in output
+        assert "facebook" in output
+
+    def test_fig1(self):
+        output = run_cli(["fig1"])
+        assert "Fig. 1" in output
+        assert "pending" in output
+
+    def test_sweep_command(self):
+        output = run_cli(
+            ["fig9", "--num-legit", "300", "--num-fakes", "60"]
+        )
+        assert "Fig. 9" in output
+        assert "Rejecto" in output and "VoteTrust" in output
+
+    def test_sweep_with_dataset(self):
+        output = run_cli(
+            ["fig11", "--num-legit", "300", "--num-fakes", "60", "--dataset", "synthetic"]
+        )
+        assert "Fig. 11" in output
+
+    def test_table2(self):
+        output = run_cli(["table2", "--sizes", "300", "600"])
+        assert "Table II" in output
+
+    def test_fig16(self):
+        output = run_cli(["fig16", "--num-legit", "400"])
+        assert "SybilRank AUC" in output
+
+    def test_fig17_subset(self):
+        output = run_cli(
+            [
+                "fig17",
+                "--datasets",
+                "synthetic",
+                "--points",
+                "2",
+                "--num-legit",
+                "300",
+                "--num-fakes",
+                "60",
+            ]
+        )
+        assert "[synthetic]" in output
+        assert "Fig. 9" in output and "Fig. 12" in output
+
+    def test_fig18_subset(self):
+        output = run_cli(
+            [
+                "fig18",
+                "--datasets",
+                "synthetic",
+                "--points",
+                "2",
+                "--num-legit",
+                "300",
+                "--num-fakes",
+                "60",
+            ]
+        )
+        assert "[synthetic]" in output
+        assert "Fig. 13" in output and "Fig. 15" in output

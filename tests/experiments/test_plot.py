@@ -1,0 +1,80 @@
+"""Tests for the ASCII chart renderer."""
+
+import pytest
+
+from repro.experiments import ascii_chart, render_sweep_chart
+from repro.experiments.sweeps import SweepResult
+
+
+class TestAsciiChart:
+    def test_basic_rendering(self):
+        chart = ascii_chart(
+            [0, 1, 2],
+            {"a": [0.0, 0.5, 1.0]},
+            width=20,
+            height=6,
+            title="T",
+        )
+        lines = chart.splitlines()
+        assert lines[0] == "T"
+        assert "1.00" in chart and "0.00" in chart
+        assert "* a" in chart  # legend
+        assert chart.count("*") >= 3 + 1  # three points + legend marker
+
+    def test_markers_differ_per_series(self):
+        chart = ascii_chart(
+            [0, 1],
+            {"first": [0.2, 0.2], "second": [0.8, 0.8]},
+            width=12,
+            height=5,
+        )
+        assert "* first" in chart
+        assert "o second" in chart
+        assert "o" in chart.splitlines()[1]  # high series near the top
+
+    def test_extremes_land_on_edges(self):
+        chart = ascii_chart([0, 10], {"s": [1.0, 0.0]}, width=11, height=5)
+        rows = [line for line in chart.splitlines() if "|" in line]
+        top = rows[0].split("|", 1)[1]
+        bottom = rows[-1].split("|", 1)[1]
+        assert top[0] == "*"  # (x=0, y=1) top-left
+        assert bottom[-1] == "*"  # (x=10, y=0) bottom-right
+
+    def test_values_clamped_to_range(self):
+        chart = ascii_chart([0, 1], {"s": [-0.5, 1.5]}, width=10, height=4)
+        assert "*" in chart  # no crash; points clamped onto the grid
+
+    def test_x_label_and_axis(self):
+        chart = ascii_chart([2, 8], {"s": [0.5, 0.5]}, x_label="requests")
+        assert "requests" in chart
+        assert "2" in chart and "8" in chart
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ascii_chart([], {"s": []})
+        with pytest.raises(ValueError):
+            ascii_chart([1], {})
+        with pytest.raises(ValueError):
+            ascii_chart([1, 2], {"s": [1.0]})
+        with pytest.raises(ValueError):
+            ascii_chart([1], {"s": [1.0]}, y_min=1.0, y_max=0.0)
+        with pytest.raises(ValueError):
+            ascii_chart([1], {"s": [1.0]}, width=2)
+
+    def test_constant_x_does_not_crash(self):
+        chart = ascii_chart([5, 5], {"s": [0.1, 0.9]}, width=10, height=5)
+        assert "*" in chart
+
+
+class TestRenderSweepChart:
+    def test_wraps_sweep_result(self):
+        sweep = SweepResult(
+            figure="Fig. X",
+            x_label="x",
+            x_values=[1, 2, 3],
+            series={"Rejecto": [1.0, 1.0, 0.9], "VoteTrust": [0.5, 0.6, 0.7]},
+        )
+        chart = render_sweep_chart(sweep)
+        assert chart.startswith("Fig. X")
+        assert "* Rejecto" in chart
+        assert "o VoteTrust" in chart

@@ -1,0 +1,69 @@
+"""Tests for the markdown report generator."""
+
+import pytest
+
+from repro.experiments import (
+    EXPERIMENT_NAMES,
+    ReportConfig,
+    generate_report,
+    write_report,
+)
+
+
+class TestReport:
+    def test_subset_report_contains_sections(self):
+        config = ReportConfig(quick=True, include=("fig1", "fig3-5"))
+        report = generate_report(config)
+        assert report.startswith("# Rejecto reproduction")
+        assert "## fig1" in report
+        assert "## fig3-5" in report
+        assert "## fig9" not in report
+        assert "regenerated in" in report
+
+    def test_presentation_order_is_canonical(self):
+        config = ReportConfig(quick=True, include=("fig3-5", "fig1"))
+        report = generate_report(config)
+        # fig1 renders before fig3-5 regardless of include order.
+        assert report.index("## fig1") < report.index("## fig3-5")
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(ValueError, match="unknown experiments"):
+            generate_report(ReportConfig(include=("fig99",)))
+
+    def test_write_report(self, tmp_path):
+        path = tmp_path / "results.md"
+        written = write_report(
+            path, ReportConfig(quick=True, include=("fig1",))
+        )
+        assert written == path
+        assert "## fig1" in path.read_text()
+
+    def test_experiment_names_cover_every_table_and_figure(self):
+        assert set(EXPERIMENT_NAMES) == {
+            "table1",
+            "fig1",
+            "fig3-5",
+            "fig9",
+            "fig10",
+            "fig11",
+            "fig12",
+            "fig13",
+            "fig14",
+            "fig15",
+            "fig16",
+            "table2",
+        }
+
+    def test_cli_report_command(self, tmp_path):
+        import io as iomod
+
+        from repro.cli import _run_command, build_parser
+
+        out_path = tmp_path / "r.md"
+        args = build_parser().parse_args(
+            ["report", "--out", str(out_path), "--quick", "--include", "fig1"]
+        )
+        out = iomod.StringIO()
+        _run_command(args, out=out)
+        assert "report written" in out.getvalue()
+        assert out_path.exists()

@@ -1,0 +1,46 @@
+"""Tests for the community-structured generator."""
+
+import random
+
+import pytest
+
+from repro.graphgen import community_graph
+from repro.graphgen.communities import community_graph_with_labels
+from repro.graphgen.stats import connected_components
+
+
+class TestCommunityGraph:
+    def test_labels_cover_all_nodes(self):
+        graph, labels = community_graph_with_labels(
+            400, 8, 3.0, 0.5, rng=random.Random(0)
+        )
+        assert graph.num_nodes == 400
+        assert len(labels) == 400
+        assert set(labels) == set(range(8))
+
+    def test_connected_via_bridges(self):
+        graph = community_graph(300, 6, 3.0, 0.5, rng=random.Random(1))
+        assert len(connected_components(graph)) == 1
+
+    def test_intra_community_density_dominates(self):
+        graph, labels = community_graph_with_labels(
+            600, 6, 4.0, 0.5, bridges_per_community=2, rng=random.Random(2)
+        )
+        cross = sum(1 for u, v in graph.friendships() if labels[u] != labels[v])
+        assert cross <= 6 * 2  # only the ring bridges cross
+        assert graph.num_friendships > 100 * cross
+
+    def test_single_community(self):
+        graph, labels = community_graph_with_labels(
+            100, 1, 3.0, 0.5, rng=random.Random(3)
+        )
+        assert set(labels) == {0}
+        assert len(connected_components(graph)) == 1
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            community_graph(100, 0, 3.0, 0.5)
+        with pytest.raises(ValueError):
+            community_graph(100, 4, 3.0, 0.5, bridges_per_community=0)
+        with pytest.raises(ValueError):
+            community_graph(20, 10, 3.0, 0.5)  # blocks too small

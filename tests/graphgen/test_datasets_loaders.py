@@ -1,0 +1,124 @@
+"""Tests for the Table I dataset catalog and SNAP loaders."""
+
+import pytest
+
+from repro.graphgen import (
+    CATALOG,
+    LoaderError,
+    barabasi_albert,
+    dataset_names,
+    generate_dataset,
+    load_snap_edgelist,
+    save_snap_edgelist,
+)
+from repro.graphgen.stats import average_clustering
+
+
+class TestCatalog:
+    def test_all_table1_rows_present(self):
+        assert dataset_names() == [
+            "facebook",
+            "ca-HepTh",
+            "ca-AstroPh",
+            "email-Enron",
+            "soc-Epinions",
+            "soc-Slashdot",
+            "synthetic",
+        ]
+
+    def test_paper_row_values_recorded(self):
+        spec = CATALOG["facebook"]
+        assert spec.paper_nodes == 10_000
+        assert spec.paper_edges == 40_013
+        assert spec.paper_clustering == pytest.approx(0.2332)
+        assert spec.paper_diameter == 17
+
+    def test_generate_scaled(self):
+        graph = generate_dataset("facebook", scale=0.1, seed=1)
+        assert graph.num_nodes == 1000
+        # Edge density ~ m = 4.
+        assert graph.num_friendships / graph.num_nodes == pytest.approx(4.0, rel=0.1)
+
+    def test_generated_clustering_tracks_paper_target(self):
+        low = generate_dataset("soc-Slashdot", scale=0.03, seed=1)
+        high = generate_dataset("facebook", scale=0.3, seed=1)
+        assert average_clustering(high) > average_clustering(low) + 0.1
+
+    def test_deterministic_per_seed(self):
+        a = generate_dataset("synthetic", scale=0.05, seed=9)
+        b = generate_dataset("synthetic", scale=0.05, seed=9)
+        assert set(a.friendships()) == set(b.friendships())
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown dataset"):
+            generate_dataset("friendster")
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(ValueError):
+            generate_dataset("facebook", scale=0.0)
+        with pytest.raises(ValueError):
+            generate_dataset("facebook", scale=1.5)
+
+
+class TestSnapLoader:
+    def test_roundtrip_without_remap(self, tmp_path):
+        import random
+
+        graph = barabasi_albert(80, 3, random.Random(0))
+        path = tmp_path / "graph.txt"
+        save_snap_edgelist(graph, path)
+        loaded = load_snap_edgelist(path, remap=False)
+        assert loaded.num_nodes == graph.num_nodes
+        assert set(loaded.friendships()) == set(graph.friendships())
+
+    def test_roundtrip_with_remap_preserves_structure(self, tmp_path):
+        import random
+
+        graph = barabasi_albert(80, 3, random.Random(0))
+        path = tmp_path / "graph.txt"
+        save_snap_edgelist(graph, path)
+        loaded = load_snap_edgelist(path)  # ids relabelled
+        assert loaded.num_nodes == graph.num_nodes
+        assert loaded.num_friendships == graph.num_friendships
+        assert sorted(len(a) for a in loaded.friends) == sorted(
+            len(a) for a in graph.friends
+        )
+
+    def test_negative_id_without_remap_rejected(self, tmp_path):
+        path = tmp_path / "neg.txt"
+        path.write_text("-1 2\n")
+        with pytest.raises(LoaderError, match="negative id"):
+            load_snap_edgelist(path, remap=False)
+
+    def test_comments_sparse_ids_and_duplicates(self, tmp_path):
+        path = tmp_path / "snap.txt"
+        path.write_text(
+            "# Directed graph\n"
+            "# FromNodeId ToNodeId\n"
+            "1000 2000\n"
+            "2000 1000\n"  # reverse duplicate collapses
+            "1000 2000\n"  # exact duplicate collapses
+            "2000 5\n"
+            "7 7\n"  # self-loop dropped
+        )
+        graph = load_snap_edgelist(path)
+        assert graph.num_nodes == 3
+        assert graph.num_friendships == 2
+
+    def test_malformed_line_raises(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("1\n")
+        with pytest.raises(LoaderError, match="expected two ids"):
+            load_snap_edgelist(path)
+
+    def test_non_integer_id_raises(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("a b\n")
+        with pytest.raises(LoaderError, match="non-integer"):
+            load_snap_edgelist(path)
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.txt"
+        path.write_text("# nothing\n")
+        graph = load_snap_edgelist(path)
+        assert graph.num_nodes == 0

@@ -1,0 +1,181 @@
+"""Tests for the graph generators."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphgen import (
+    barabasi_albert,
+    forest_fire_graph,
+    forest_fire_sample,
+    powerlaw_cluster,
+    watts_strogatz,
+)
+from repro.graphgen.stats import average_clustering, connected_components
+
+
+class TestBarabasiAlbert:
+    def test_edge_count(self):
+        graph = barabasi_albert(200, m=3, rng=random.Random(0))
+        # Seed star has 3 edges; each of the remaining 196 nodes adds 3.
+        assert graph.num_friendships == 3 + 3 * 196
+
+    def test_connected(self):
+        graph = barabasi_albert(300, m=2, rng=random.Random(1))
+        assert len(connected_components(graph)) == 1
+
+    def test_heavy_tail(self):
+        """Preferential attachment must produce hubs: the max degree far
+        exceeds the mean degree."""
+        graph = barabasi_albert(2000, m=4, rng=random.Random(2))
+        degrees = [len(adj) for adj in graph.friends]
+        assert max(degrees) > 8 * (sum(degrees) / len(degrees))
+
+    def test_deterministic_per_seed(self):
+        a = barabasi_albert(100, 3, random.Random(7))
+        b = barabasi_albert(100, 3, random.Random(7))
+        assert set(a.friendships()) == set(b.friendships())
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            barabasi_albert(10, m=0)
+        with pytest.raises(ValueError):
+            barabasi_albert(3, m=3)
+
+
+class TestPowerlawCluster:
+    def test_edge_density_matches_m(self):
+        graph = powerlaw_cluster(2000, m=5.0, triad_prob=0.5, rng=random.Random(0))
+        assert graph.num_friendships / 2000 == pytest.approx(5.0, rel=0.05)
+
+    def test_fractional_m(self):
+        graph = powerlaw_cluster(3000, m=2.5, triad_prob=0.3, rng=random.Random(1))
+        assert graph.num_friendships / 3000 == pytest.approx(2.5, rel=0.08)
+
+    def test_triad_prob_raises_clustering(self):
+        low = powerlaw_cluster(1500, 4, 0.0, random.Random(3))
+        high = powerlaw_cluster(1500, 4, 0.9, random.Random(3))
+        assert average_clustering(high) > average_clustering(low) + 0.1
+
+    def test_connected(self):
+        graph = powerlaw_cluster(500, 3, 0.7, random.Random(4))
+        assert len(connected_components(graph)) == 1
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            powerlaw_cluster(10, 0.5, 0.5)
+        with pytest.raises(ValueError):
+            powerlaw_cluster(100, 3, 1.5)
+        with pytest.raises(ValueError):
+            powerlaw_cluster(3, 3, 0.5)
+
+
+class TestWattsStrogatz:
+    def test_zero_rewire_is_ring_lattice(self):
+        graph = watts_strogatz(20, k=4, rewire_prob=0.0, rng=random.Random(0))
+        assert graph.num_friendships == 40
+        for u in range(20):
+            assert graph.has_friendship(u, (u + 1) % 20)
+            assert graph.has_friendship(u, (u + 2) % 20)
+
+    def test_full_rewire_breaks_lattice(self):
+        graph = watts_strogatz(200, k=6, rewire_prob=1.0, rng=random.Random(1))
+        lattice_edges = sum(
+            1
+            for u in range(200)
+            for off in (1, 2, 3)
+            if graph.has_friendship(u, (u + off) % 200)
+        )
+        assert lattice_edges < 100  # nearly all 600 lattice slots rewired
+
+    def test_high_clustering_at_low_rewire(self):
+        graph = watts_strogatz(500, k=8, rewire_prob=0.05, rng=random.Random(2))
+        assert average_clustering(graph) > 0.4
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            watts_strogatz(10, k=3, rewire_prob=0.1)
+        with pytest.raises(ValueError):
+            watts_strogatz(4, k=4, rewire_prob=0.1)
+        with pytest.raises(ValueError):
+            watts_strogatz(10, k=2, rewire_prob=2.0)
+
+
+class TestForestFire:
+    def test_generates_connected_graph(self):
+        graph = forest_fire_graph(400, forward_prob=0.35, rng=random.Random(0))
+        assert graph.num_nodes == 400
+        assert len(connected_components(graph)) == 1
+
+    def test_forward_prob_densifies(self):
+        sparse = forest_fire_graph(500, 0.2, random.Random(1))
+        dense = forest_fire_graph(500, 0.5, random.Random(1))
+        assert dense.num_friendships > sparse.num_friendships
+
+    def test_invalid_forward_prob(self):
+        with pytest.raises(ValueError):
+            forest_fire_graph(10, 1.0)
+        with pytest.raises(ValueError):
+            forest_fire_graph(0, 0.5)
+
+    def test_sample_size_and_inducedness(self):
+        base = barabasi_albert(1000, 4, random.Random(5))
+        sample = forest_fire_sample(base, 200, rng=random.Random(6))
+        assert sample.num_nodes == 200
+        assert sample.num_friendships > 0
+
+    def test_sample_larger_than_graph_rejected(self):
+        base = barabasi_albert(50, 2, random.Random(0))
+        with pytest.raises(ValueError):
+            forest_fire_sample(base, 51)
+
+    def test_sample_whole_graph(self):
+        base = barabasi_albert(60, 2, random.Random(0))
+        sample = forest_fire_sample(base, 60, rng=random.Random(1))
+        assert sample.num_nodes == 60
+        assert sample.num_friendships == base.num_friendships
+
+
+@given(
+    st.integers(min_value=10, max_value=80),
+    st.integers(min_value=1, max_value=4),
+    st.integers(min_value=0, max_value=10_000),
+)
+@settings(max_examples=25, deadline=None)
+def test_ba_structural_invariants(num_nodes, m, seed):
+    if num_nodes < m + 1:
+        num_nodes = m + 1 + num_nodes
+    graph = barabasi_albert(num_nodes, m, random.Random(seed))
+    assert graph.num_nodes == num_nodes
+    # No rejections, no self-loops, minimum degree >= 1.
+    assert graph.num_rejections == 0
+    assert all(len(adj) >= 1 for adj in graph.friends)
+    assert len(connected_components(graph)) == 1
+
+
+class TestErdosRenyi:
+    def test_edge_count_and_degree(self):
+        from repro.graphgen import erdos_renyi
+
+        graph = erdos_renyi(500, mean_degree=6.0, rng=random.Random(0))
+        assert graph.num_friendships == 1500
+        degrees = [len(adj) for adj in graph.friends]
+        assert sum(degrees) / 500 == pytest.approx(6.0)
+
+    def test_no_clustering(self):
+        from repro.graphgen import erdos_renyi
+
+        graph = erdos_renyi(1000, 6.0, random.Random(1))
+        assert average_clustering(graph) < 0.03
+
+    def test_validation(self):
+        from repro.graphgen import erdos_renyi
+
+        with pytest.raises(ValueError):
+            erdos_renyi(1, 2.0)
+        with pytest.raises(ValueError):
+            erdos_renyi(10, 0)
+        with pytest.raises(ValueError):
+            erdos_renyi(4, 10.0)  # more edges than the complete graph

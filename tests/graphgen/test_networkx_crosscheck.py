@@ -1,0 +1,73 @@
+"""Cross-validation of graph statistics against networkx.
+
+networkx is available in the test environment (it is not a runtime
+dependency), so it serves as an independent oracle for the hand-rolled
+clustering, diameter, and component computations.
+"""
+
+import random
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+
+from repro.graphgen import (
+    approximate_diameter,
+    average_clustering,
+    barabasi_albert,
+    connected_components,
+    powerlaw_cluster,
+)
+
+from ..conftest import augmented_graphs
+
+
+def to_nx(graph):
+    fg = nx.Graph()
+    fg.add_nodes_from(range(graph.num_nodes))
+    fg.add_edges_from(graph.friendships())
+    return fg
+
+
+class TestAgainstNetworkx:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_average_clustering_matches_exactly(self, seed):
+        graph = powerlaw_cluster(300, 4, 0.6, random.Random(seed))
+        ours = average_clustering(graph)
+        theirs = nx.average_clustering(to_nx(graph))
+        assert ours == pytest.approx(theirs, abs=1e-12)
+
+    @pytest.mark.parametrize("seed", [3, 4])
+    def test_diameter_bound_tight_on_small_graphs(self, seed):
+        graph = barabasi_albert(250, 2, random.Random(seed))
+        ours = approximate_diameter(graph, sweeps=8)
+        true = nx.diameter(to_nx(graph))
+        assert ours <= true
+        assert ours >= true - 1  # double sweep is near-exact at this scale
+
+    def test_connected_components_match(self):
+        rng = random.Random(5)
+        graph = barabasi_albert(120, 2, rng)
+        # Add isolated nodes and a small separate clique.
+        extra = graph.add_nodes(6)
+        graph.add_friendship(extra[0], extra[1])
+        graph.add_friendship(extra[1], extra[2])
+        ours = sorted(sorted(c) for c in connected_components(graph))
+        theirs = sorted(sorted(c) for c in nx.connected_components(to_nx(graph)))
+        assert ours == theirs
+
+
+@given(augmented_graphs(max_nodes=20, max_edges=40))
+@settings(max_examples=25, deadline=None)
+def test_clustering_matches_networkx_on_random_graphs(graph):
+    ours = average_clustering(graph)
+    theirs = nx.average_clustering(to_nx(graph)) if graph.num_nodes else 0.0
+    assert ours == pytest.approx(theirs, abs=1e-12)
+
+
+@given(augmented_graphs(max_nodes=16, max_edges=30))
+@settings(max_examples=25, deadline=None)
+def test_components_match_networkx_on_random_graphs(graph):
+    ours = sorted(sorted(c) for c in connected_components(graph))
+    theirs = sorted(sorted(c) for c in nx.connected_components(to_nx(graph)))
+    assert ours == theirs

@@ -1,0 +1,125 @@
+"""Tests for graph statistics."""
+
+import random
+
+import pytest
+
+from repro.core import AugmentedSocialGraph
+from repro.graphgen import (
+    approximate_diameter,
+    average_clustering,
+    barabasi_albert,
+    connected_components,
+    degree_histogram,
+    graph_stats,
+    largest_component,
+)
+
+
+def path_graph(n):
+    return AugmentedSocialGraph.from_edges(
+        n, friendships=[(i, i + 1) for i in range(n - 1)]
+    )
+
+
+def complete_graph(n):
+    return AugmentedSocialGraph.from_edges(
+        n, friendships=[(i, j) for i in range(n) for j in range(i + 1, n)]
+    )
+
+
+class TestClustering:
+    def test_triangle_is_fully_clustered(self):
+        assert average_clustering(complete_graph(3)) == pytest.approx(1.0)
+
+    def test_complete_graph(self):
+        assert average_clustering(complete_graph(6)) == pytest.approx(1.0)
+
+    def test_path_has_zero_clustering(self):
+        assert average_clustering(path_graph(10)) == 0.0
+
+    def test_known_mixed_value(self):
+        # Triangle 0-1-2 plus pendant 3 attached to 2:
+        # cc(0)=cc(1)=1, cc(2)=1/3, cc(3)=0 -> average 7/12.
+        graph = AugmentedSocialGraph.from_edges(
+            4, friendships=[(0, 1), (1, 2), (0, 2), (2, 3)]
+        )
+        assert average_clustering(graph) == pytest.approx(7 / 12)
+
+    def test_empty_graph(self):
+        assert average_clustering(AugmentedSocialGraph(0)) == 0.0
+
+    def test_sampled_estimate_close_to_exact(self):
+        graph = barabasi_albert(1500, 5, random.Random(0))
+        exact = average_clustering(graph)
+        estimate = average_clustering(graph, sample=600, rng=random.Random(1))
+        assert estimate == pytest.approx(exact, abs=0.02)
+
+
+class TestDiameter:
+    def test_path_diameter_exact(self):
+        assert approximate_diameter(path_graph(17)) == 16
+
+    def test_complete_graph(self):
+        assert approximate_diameter(complete_graph(5)) == 1
+
+    def test_single_node(self):
+        assert approximate_diameter(AugmentedSocialGraph(1)) == 0
+
+    def test_empty_graph(self):
+        assert approximate_diameter(AugmentedSocialGraph(0)) == 0
+
+    def test_uses_largest_component(self):
+        graph = AugmentedSocialGraph.from_edges(
+            7, friendships=[(0, 1), (1, 2), (2, 3), (5, 6)]
+        )
+        assert approximate_diameter(graph) == 3
+
+    def test_lower_bound_property(self):
+        """The double-sweep value never exceeds the true diameter."""
+        import networkx as nx
+
+        graph = barabasi_albert(300, 2, random.Random(3))
+        fg, _ = graph.to_networkx()
+        true = nx.diameter(fg)
+        assert approximate_diameter(graph, sweeps=6) <= true
+        # And on this scale it should be close.
+        assert approximate_diameter(graph, sweeps=6) >= true - 2
+
+
+class TestComponents:
+    def test_components_sorted_by_size(self):
+        graph = AugmentedSocialGraph.from_edges(
+            7, friendships=[(0, 1), (2, 3), (3, 4), (4, 5)]
+        )
+        comps = connected_components(graph)
+        assert [len(c) for c in comps] == [4, 2, 1]
+        assert sorted(comps[0]) == [2, 3, 4, 5]
+
+    def test_largest_component_empty_graph(self):
+        assert largest_component(AugmentedSocialGraph(0)) == []
+
+    def test_rejections_do_not_connect(self):
+        graph = AugmentedSocialGraph.from_edges(3, rejections=[(0, 1), (1, 2)])
+        assert len(connected_components(graph)) == 3
+
+
+class TestDegreeHistogram:
+    def test_histogram(self):
+        graph = AugmentedSocialGraph.from_edges(
+            4, friendships=[(0, 1), (0, 2), (0, 3)]
+        )
+        assert degree_histogram(graph) == [0, 3, 0, 1]
+
+    def test_empty(self):
+        assert degree_histogram(AugmentedSocialGraph(0)) == []
+
+
+class TestGraphStats:
+    def test_shape(self):
+        graph = barabasi_albert(400, 3, random.Random(0))
+        stats = graph_stats(graph)
+        assert stats.nodes == 400
+        assert stats.edges == graph.num_friendships
+        assert 0 <= stats.clustering <= 1
+        assert stats.diameter >= 2

@@ -1,0 +1,52 @@
+"""Tests for detection metrics."""
+
+import pytest
+
+from repro.metrics import precision_recall
+
+
+class TestPrecisionRecall:
+    def test_perfect_detection(self):
+        m = precision_recall([1, 2, 3], [1, 2, 3])
+        assert m.precision == 1.0
+        assert m.recall == 1.0
+        assert m.f1 == 1.0
+        assert m.true_positives == 3
+        assert m.false_positives == 0
+        assert m.false_negatives == 0
+
+    def test_partial_detection(self):
+        m = precision_recall([1, 2, 9], [1, 2, 3, 4])
+        assert m.precision == pytest.approx(2 / 3)
+        assert m.recall == pytest.approx(0.5)
+        assert m.false_positives == 1
+        assert m.false_negatives == 2
+
+    def test_paper_identity_when_counts_match(self):
+        """Declaring exactly |fakes| suspicious makes precision == recall
+        (Section VI-A)."""
+        detected = [1, 2, 3, 10]
+        fakes = [1, 2, 4, 5]
+        m = precision_recall(detected, fakes)
+        assert len(detected) == len(fakes)
+        assert m.precision == m.recall
+
+    def test_empty_detected(self):
+        m = precision_recall([], [1, 2])
+        assert m.precision == 0.0
+        assert m.recall == 0.0
+        assert m.f1 == 0.0
+
+    def test_empty_fakes(self):
+        m = precision_recall([1], [])
+        assert m.recall == 1.0
+        assert m.precision == 0.0
+
+    def test_duplicates_deduplicated(self):
+        m = precision_recall([1, 1, 2], [1, 2])
+        assert m.declared == 2
+        assert m.precision == 1.0
+
+    def test_declared_property(self):
+        m = precision_recall([1, 2, 3], [2])
+        assert m.declared == 3

@@ -1,0 +1,44 @@
+"""Tests for the empirical-distribution utilities."""
+
+import pytest
+
+from repro.metrics import cdf_at, empirical_cdf
+
+
+class TestEmpiricalCdf:
+    def test_simple_case(self):
+        points = empirical_cdf([1, 2, 2, 4])
+        assert points == [(1, 0.25), (2, 0.75), (4, 1.0)]
+
+    def test_single_value(self):
+        assert empirical_cdf([7]) == [(7, 1.0)]
+
+    def test_monotone_and_terminal(self):
+        points = empirical_cdf([5, 3, 9, 3, 1])
+        fractions = [f for _, f in points]
+        assert fractions == sorted(fractions)
+        assert fractions[-1] == 1.0
+        values = [v for v, _ in points]
+        assert values == sorted(values)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            empirical_cdf([])
+
+
+class TestCdfAt:
+    def test_thresholds(self):
+        values = [1, 2, 3, 4]
+        assert cdf_at(values, 0) == 0.0
+        assert cdf_at(values, 2) == 0.5
+        assert cdf_at(values, 2.5) == 0.5
+        assert cdf_at(values, 10) == 1.0
+
+    def test_consistent_with_empirical_cdf(self):
+        values = [3, 1, 4, 1, 5, 9, 2, 6]
+        for v, fraction in empirical_cdf(values):
+            assert cdf_at(values, v) == pytest.approx(fraction)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            cdf_at([], 1)

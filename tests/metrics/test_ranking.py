@@ -1,0 +1,42 @@
+"""Tests for ranking metrics."""
+
+import pytest
+
+from repro.metrics import average_precision, precision_at_k
+
+
+class TestPrecisionAtK:
+    def test_basic(self):
+        ranked = [5, 3, 9, 1]
+        assert precision_at_k(ranked, [5, 9], 1) == 1.0
+        assert precision_at_k(ranked, [5, 9], 2) == 0.5
+        assert precision_at_k(ranked, [5, 9], 4) == 0.5
+
+    def test_k_beyond_length_uses_full_ranking(self):
+        assert precision_at_k([1, 2], [1], 10) == 0.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            precision_at_k([1], [1], 0)
+        with pytest.raises(ValueError):
+            precision_at_k([], [1], 1)
+
+
+class TestAveragePrecision:
+    def test_perfect_ranking(self):
+        assert average_precision([7, 8, 1, 2], [7, 8]) == 1.0
+
+    def test_worst_ranking(self):
+        assert average_precision([1, 2, 7], [7]) == pytest.approx(1 / 3)
+
+    def test_known_mixed_value(self):
+        # positives at ranks 1 and 3: (1/1 + 2/3) / 2 = 5/6.
+        assert average_precision([9, 0, 8, 1], [9, 8]) == pytest.approx(5 / 6)
+
+    def test_missing_positive_penalized(self):
+        # one positive ranked first, the other absent: (1 + 0) / 2.
+        assert average_precision([4, 0], [4, 99]) == pytest.approx(0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            average_precision([1, 2], [])

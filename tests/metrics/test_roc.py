@@ -1,0 +1,84 @@
+"""Tests for ROC/AUC."""
+
+import random
+
+import pytest
+
+from repro.metrics import auc_from_scores, roc_curve
+
+
+class TestAUC:
+    def test_perfect_separation(self):
+        scores = {0: 0.1, 1: 0.2, 2: 0.8, 3: 0.9}
+        assert auc_from_scores(scores, positives=[0, 1]) == 1.0
+
+    def test_inverted_separation(self):
+        scores = {0: 0.9, 1: 0.8, 2: 0.1, 3: 0.2}
+        assert auc_from_scores(scores, positives=[0, 1]) == 0.0
+
+    def test_random_scores_near_half(self):
+        rng = random.Random(0)
+        scores = {u: rng.random() for u in range(2000)}
+        positives = list(range(0, 2000, 2))
+        assert auc_from_scores(scores, positives) == pytest.approx(0.5, abs=0.05)
+
+    def test_all_tied_is_half(self):
+        scores = {0: 1.0, 1: 1.0, 2: 1.0, 3: 1.0}
+        assert auc_from_scores(scores, [0, 1]) == pytest.approx(0.5)
+
+    def test_matches_brute_force_pair_counting(self):
+        rng = random.Random(3)
+        scores = {u: rng.choice([0.1, 0.2, 0.2, 0.5, 0.9]) for u in range(60)}
+        positives = set(rng.sample(range(60), 25))
+        negatives = [u for u in scores if u not in positives]
+        wins = ties = 0
+        for p in positives:
+            for n in negatives:
+                if scores[p] < scores[n]:
+                    wins += 1
+                elif scores[p] == scores[n]:
+                    ties += 1
+        expected = (wins + 0.5 * ties) / (len(positives) * len(negatives))
+        assert auc_from_scores(scores, positives) == pytest.approx(expected)
+
+    def test_degenerate_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            auc_from_scores({}, [])
+        with pytest.raises(ValueError):
+            auc_from_scores({0: 1.0}, [0])  # no negatives
+        with pytest.raises(ValueError):
+            auc_from_scores({0: 1.0}, [])  # no positives
+
+
+class TestROCCurve:
+    def test_monotone_from_origin_to_corner(self):
+        rng = random.Random(1)
+        scores = {u: rng.random() for u in range(50)}
+        positives = list(range(20))
+        points = roc_curve(scores, positives)
+        assert points[0] == (0.0, 0.0)
+        assert points[-1] == (1.0, 1.0)
+        fprs = [p[0] for p in points]
+        tprs = [p[1] for p in points]
+        assert fprs == sorted(fprs)
+        assert tprs == sorted(tprs)
+
+    def test_perfect_curve_hits_top_left(self):
+        scores = {0: 0.1, 1: 0.2, 2: 0.8, 3: 0.9}
+        points = roc_curve(scores, [0, 1])
+        assert (0.0, 1.0) in points
+
+    def test_trapezoid_area_matches_auc(self):
+        rng = random.Random(2)
+        scores = {u: rng.random() for u in range(200)}
+        positives = rng.sample(range(200), 80)
+        points = roc_curve(scores, positives)
+        area = sum(
+            (x2 - x1) * (y1 + y2) / 2
+            for (x1, y1), (x2, y2) in zip(points, points[1:])
+        )
+        assert area == pytest.approx(auc_from_scores(scores, positives), abs=1e-9)
+
+    def test_degenerate_rejected(self):
+        with pytest.raises(ValueError):
+            roc_curve({0: 1.0}, [0])

@@ -1,0 +1,191 @@
+"""Tests for graph/request-log/report persistence."""
+
+import json
+
+import pytest
+
+from repro.attacks import RequestLog, ScenarioConfig, build_scenario
+from repro.core import AugmentedSocialGraph, Rejecto, RejectoConfig
+from repro.io import (
+    FormatError,
+    load_augmented_graph,
+    load_detection_report,
+    load_request_log,
+    save_augmented_graph,
+    save_detection_report,
+    save_request_log,
+)
+
+
+class TestGraphRoundtrip:
+    def test_roundtrip_preserves_everything(self, tmp_path):
+        scenario = build_scenario(ScenarioConfig(num_legit=150, num_fakes=30))
+        path = tmp_path / "graph.txt"
+        save_augmented_graph(scenario.graph, path)
+        loaded = load_augmented_graph(path)
+        assert loaded.num_nodes == scenario.graph.num_nodes
+        assert set(loaded.friendships()) == set(scenario.graph.friendships())
+        assert set(loaded.rejections()) == set(scenario.graph.rejections())
+
+    def test_isolated_nodes_preserved_via_header(self, tmp_path):
+        graph = AugmentedSocialGraph(10)
+        graph.add_friendship(0, 1)
+        path = tmp_path / "graph.txt"
+        save_augmented_graph(graph, path)
+        assert load_augmented_graph(path).num_nodes == 10
+
+    def test_missing_header_infers_count(self, tmp_path):
+        path = tmp_path / "graph.txt"
+        path.write_text("F 0 3\nR 1 2\n")
+        graph = load_augmented_graph(path)
+        assert graph.num_nodes == 4
+        assert graph.has_friendship(0, 3)
+        assert graph.has_rejection(1, 2)
+
+    def test_bad_lines_raise(self, tmp_path):
+        for content, message in [
+            ("X 0 1\n", "expected"),
+            ("F 0\n", "expected"),
+            ("F a b\n", "non-integer"),
+            ("F -1 2\n", "negative"),
+            ("# nodes: two\nF 0 1\n", "bad nodes header"),
+            ("# nodes: 1\nF 0 3\n", "ids reach"),
+        ]:
+            path = tmp_path / "bad.txt"
+            path.write_text(content)
+            with pytest.raises(FormatError, match=message):
+                load_augmented_graph(path)
+
+
+class TestRequestLogRoundtrip:
+    def test_roundtrip(self, tmp_path):
+        log = RequestLog()
+        log.record(0, 1, True)
+        log.record(2, 0, False)
+        log.record(0, 1, False)  # duplicate pair, different outcome
+        path = tmp_path / "log.csv"
+        save_request_log(log, path)
+        loaded = load_request_log(path)
+        assert list(loaded) == list(log)
+
+    def test_bad_header_raises(self, tmp_path):
+        path = tmp_path / "log.csv"
+        path.write_text("a,b,c\n0,1,1\n")
+        with pytest.raises(FormatError, match="header"):
+            load_request_log(path)
+
+    def test_bad_rows_raise(self, tmp_path):
+        for row, message in [
+            ("0,1\n", "3 fields"),
+            ("0,1,yes\n", "non-integer"),
+            ("0,1,2\n", "0/1"),
+        ]:
+            path = tmp_path / "log.csv"
+            path.write_text("sender,target,accepted\n" + row)
+            with pytest.raises(FormatError, match=message):
+                load_request_log(path)
+
+
+class TestDetectionReport:
+    def test_roundtrip(self, tmp_path):
+        scenario = build_scenario(ScenarioConfig(num_legit=200, num_fakes=40))
+        result = Rejecto(RejectoConfig(estimated_spammers=40)).detect(
+            scenario.graph
+        )
+        path = tmp_path / "report.json"
+        save_detection_report(result, path)
+        report = load_detection_report(path)
+        assert report["total_detected"] == result.total_detected
+        assert report["termination"] == result.termination
+        members = [u for group in report["groups"] for u in group["members"]]
+        assert members == result.detected()
+
+    def test_invalid_json_raises(self, tmp_path):
+        path = tmp_path / "report.json"
+        path.write_text("{not json")
+        with pytest.raises(FormatError, match="invalid JSON"):
+            load_detection_report(path)
+
+    def test_wrong_shape_raises(self, tmp_path):
+        path = tmp_path / "report.json"
+        path.write_text(json.dumps([1, 2, 3]))
+        with pytest.raises(FormatError, match="not a detection report"):
+            load_detection_report(path)
+
+
+class TestDetectCli:
+    def test_end_to_end(self, tmp_path):
+        import io as iomod
+
+        from repro.cli import _run_command, build_parser
+
+        scenario = build_scenario(ScenarioConfig(num_legit=200, num_fakes=40))
+        graph_path = tmp_path / "graph.txt"
+        report_path = tmp_path / "report.json"
+        save_augmented_graph(scenario.graph, graph_path)
+        args = build_parser().parse_args(
+            [
+                "detect",
+                "--graph",
+                str(graph_path),
+                "--estimated",
+                "40",
+                "--report",
+                str(report_path),
+            ]
+        )
+        out = iomod.StringIO()
+        _run_command(args, out=out)
+        text = out.getvalue()
+        assert "total detected: " in text
+        assert "detected ids:" in text
+        report = load_detection_report(report_path)
+        detected = {u for g in report["groups"] for u in g["members"]}
+        metrics = scenario.precision_recall(detected)
+        assert metrics.recall > 0.9
+
+
+class TestPropertyRoundtrips:
+    """Hypothesis roundtrips: persistence must be lossless for any graph."""
+
+    def test_graph_roundtrip_property(self, tmp_path):
+        from hypothesis import given, settings
+
+        from .conftest import augmented_graphs
+
+        @given(augmented_graphs(max_nodes=16, max_edges=40))
+        @settings(max_examples=30, deadline=None)
+        def roundtrip(graph):
+            path = tmp_path / "g.txt"
+            save_augmented_graph(graph, path)
+            loaded = load_augmented_graph(path)
+            assert loaded.num_nodes == graph.num_nodes
+            assert set(loaded.friendships()) == set(graph.friendships())
+            assert set(loaded.rejections()) == set(graph.rejections())
+
+        roundtrip()
+
+    def test_request_log_roundtrip_property(self, tmp_path):
+        from hypothesis import given, settings
+        from hypothesis import strategies as st
+
+        @given(
+            st.lists(
+                st.tuples(
+                    st.integers(min_value=0, max_value=30),
+                    st.integers(min_value=0, max_value=30),
+                    st.booleans(),
+                ),
+                max_size=60,
+            )
+        )
+        @settings(max_examples=30, deadline=None)
+        def roundtrip(entries):
+            log = RequestLog()
+            for sender, target, accepted in entries:
+                log.record(sender, target, accepted)
+            path = tmp_path / "log.csv"
+            save_request_log(log, path)
+            assert list(load_request_log(path)) == list(log)
+
+        roundtrip()
