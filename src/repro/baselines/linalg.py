@@ -1,31 +1,82 @@
-"""Sparse-matrix backend for trust propagation.
+"""Sparse-matrix backend plus the shared backend-dispatch helpers.
 
 The pure-Python power iterations in :mod:`repro.baselines.sybilrank` and
 :mod:`repro.baselines.sybilfence` are clear but loop-heavy; this module
 provides the equivalent computation on a ``scipy.sparse`` CSR transition
 matrix, typically 10-50x faster on large graphs. Both backends are
 tested to agree to numerical precision.
+
+It also owns the pieces both propagation baselines previously duplicated:
+the ``backend`` name validation (the ``"python"|"numpy"`` convention,
+shared with :func:`repro.core.csr.resolve_backend`), the default
+``ceil(log2 n)`` early-termination count, and the degree-normalized
+ranking scores. numpy/scipy are imported lazily inside the matrix
+functions so the helpers stay importable without them.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
-
-import numpy as np
-from scipy import sparse
+import math
+from typing import TYPE_CHECKING, Dict, List, Mapping, Sequence
 
 from ..core.graph import AugmentedSocialGraph
 
-__all__ = ["friendship_transition_matrix", "weighted_transition_matrix", "propagate"]
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    import numpy as np
+    from scipy import sparse
+
+__all__ = [
+    "friendship_transition_matrix",
+    "weighted_transition_matrix",
+    "propagate",
+    "default_iterations",
+    "validate_backend",
+    "degree_normalized_scores",
+]
 
 
-def friendship_transition_matrix(graph: AugmentedSocialGraph) -> sparse.csr_matrix:
+def default_iterations(num_nodes: int) -> int:
+    """The early-termination iteration count ``max(1, ceil(log2 n))``.
+
+    SybilRank's ``O(log n)`` walk length: long enough for trust to reach
+    the whole legitimate region, short enough that it has not mixed into
+    the Sybil region through the few attack edges.
+    """
+    return max(1, math.ceil(math.log2(max(2, num_nodes))))
+
+
+def validate_backend(backend: str) -> str:
+    """Check a propagation ``backend`` name (``"python"`` or ``"numpy"``)."""
+    if backend not in ("python", "numpy"):
+        raise ValueError(f"unknown backend {backend!r}")
+    return backend
+
+
+def degree_normalized_scores(
+    graph: AugmentedSocialGraph, trust: Mapping[int, float]
+) -> Dict[int, float]:
+    """Per-node trust divided by friend degree (zero for isolated nodes).
+
+    ``trust`` is any indexable per-node container — a plain list from the
+    python backend or a numpy vector from :func:`propagate`; values are
+    coerced to builtin floats so both backends rank identically.
+    """
+    scores: Dict[int, float] = {}
+    for u in range(graph.num_nodes):
+        degree = graph.degree(u)
+        scores[u] = float(trust[u]) / degree if degree else 0.0
+    return scores
+
+
+def friendship_transition_matrix(graph: AugmentedSocialGraph) -> "sparse.csr_matrix":
     """Column-stochastic-ish transition matrix ``T`` with
     ``T[v, u] = 1/deg(u)`` for each friendship ``(u, v)``.
 
     Multiplying a trust vector by ``T`` spreads each node's trust
     equally over its friends — one SybilRank iteration.
     """
+    from scipy import sparse
+
     n = graph.num_nodes
     rows: List[int] = []
     cols: List[int] = []
@@ -44,13 +95,15 @@ def friendship_transition_matrix(graph: AugmentedSocialGraph) -> sparse.csr_matr
 
 def weighted_transition_matrix(
     graph: AugmentedSocialGraph, node_discount: Sequence[float]
-) -> sparse.csr_matrix:
+) -> "sparse.csr_matrix":
     """Transition matrix over feedback-discounted edge weights.
 
     Edge ``(u, v)`` carries ``discount[u] * discount[v]``; each column
     ``u`` is normalized by ``u``'s total incident weight (SybilFence's
     propagation rule).
     """
+    from scipy import sparse
+
     n = graph.num_nodes
     weights: List[Dict[int, float]] = [dict() for _ in range(n)]
     for u, v in graph.friendships():
@@ -72,12 +125,14 @@ def weighted_transition_matrix(
 
 
 def propagate(
-    transition: sparse.csr_matrix,
+    transition: "sparse.csr_matrix",
     seeds: Sequence[int],
     total_trust: float,
     iterations: int,
-) -> np.ndarray:
+) -> "np.ndarray":
     """Early-terminated power iteration from the seed distribution."""
+    import numpy as np
+
     if iterations < 0:
         raise ValueError(f"iterations must be >= 0, got {iterations}")
     n = transition.shape[0]

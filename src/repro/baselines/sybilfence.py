@@ -20,11 +20,11 @@ iterative cuts do not share.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from ..core.graph import AugmentedSocialGraph
+from .linalg import default_iterations, degree_normalized_scores, validate_backend
 
 __all__ = ["SybilFenceConfig", "SybilFence"]
 
@@ -79,9 +79,10 @@ class SybilFence:
             raise ValueError("SybilFence needs at least one trusted seed")
         config = self.config
         n = graph.num_nodes
+        validate_backend(config.backend)
         iterations = config.iterations
         if iterations is None:
-            iterations = max(1, math.ceil(math.log2(max(2, n))))
+            iterations = default_iterations(n)
         if config.backend == "numpy":
             from .linalg import propagate, weighted_transition_matrix
 
@@ -95,16 +96,7 @@ class SybilFence:
                 config.total_trust,
                 iterations,
             )
-            return {
-                u: (
-                    float(trust_vector[u]) / len(graph.friends[u])
-                    if graph.friends[u]
-                    else 0.0
-                )
-                for u in range(n)
-            }
-        if config.backend != "python":
-            raise ValueError(f"unknown backend {config.backend!r}")
+            return degree_normalized_scores(graph, trust_vector)
         weights = self._edge_weights(graph)
         strength = [sum(w.values()) for w in weights]
         trust = [0.0] * n
@@ -125,10 +117,7 @@ class SybilFence:
         # trust is proportional to discounted strength, so dividing by
         # raw degree leaves exactly the feedback discount as the ranking
         # signal (normalizing by strength would cancel it out).
-        return {
-            u: (trust[u] / len(graph.friends[u]) if graph.friends[u] else 0.0)
-            for u in range(n)
-        }
+        return degree_normalized_scores(graph, trust)
 
     def most_suspicious(
         self,

@@ -19,11 +19,11 @@ Figure 16 shows driving the AUC toward 1.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from ..core.graph import AugmentedSocialGraph
+from .linalg import default_iterations, degree_normalized_scores, validate_backend
 
 __all__ = ["SybilRankConfig", "SybilRank"]
 
@@ -66,9 +66,10 @@ class SybilRank:
             raise ValueError("SybilRank needs at least one trusted seed")
         n = graph.num_nodes
         config = self.config
+        validate_backend(config.backend)
         iterations = config.iterations
         if iterations is None:
-            iterations = max(1, math.ceil(math.log2(max(2, n))))
+            iterations = default_iterations(n)
         if config.backend == "numpy":
             from .linalg import friendship_transition_matrix, propagate
 
@@ -78,16 +79,7 @@ class SybilRank:
                 config.total_trust,
                 iterations,
             )
-            return {
-                u: (
-                    float(trust_vector[u]) / len(graph.friends[u])
-                    if graph.friends[u]
-                    else 0.0
-                )
-                for u in range(n)
-            }
-        if config.backend != "python":
-            raise ValueError(f"unknown backend {config.backend!r}")
+            return degree_normalized_scores(graph, trust_vector)
         trust = [0.0] * n
         share = config.total_trust / len(trusted_seeds)
         for seed in trusted_seeds:
@@ -103,11 +95,7 @@ class SybilRank:
                 for v in friends:
                     nxt[v] += spread
             trust = nxt
-        scores: Dict[int, float] = {}
-        for u in range(n):
-            degree = len(graph.friends[u])
-            scores[u] = trust[u] / degree if degree else 0.0
-        return scores
+        return degree_normalized_scores(graph, trust)
 
     def most_suspicious(
         self,

@@ -25,7 +25,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..core.graph import AugmentedSocialGraph
 from ..core.maar import MAARConfig, geometric_k_sequence
 from ..core.objectives import LEGITIMATE, SUSPICIOUS, acceptance_rate
 from .master import MasterState, NodeRecord
@@ -122,26 +121,32 @@ class DistributedKL:
 
     def __init__(
         self,
-        graph: AugmentedSocialGraph,
+        graph,
         config: Optional[ClusterConfig] = None,
         network: Optional[NetworkSimulator] = None,
     ) -> None:
         self.config = config or ClusterConfig()
-        self.graph_size = graph.num_nodes
+        # Worker records are sliced out of the CSR snapshot (builder inputs
+        # finalize through their cache), so adjacency is sorted ascending —
+        # the same iteration order as the core CSR engine, which keeps the
+        # two engines' bucket tie-breaks, and hence their outputs, identical.
+        csr = graph.csr()
+        self.graph_size = csr.num_nodes
         self.network = network or NetworkSimulator()
         self.context = ClusterContext(
             self.config.num_workers,
             self.network,
             replication=self.config.replication,
         )
+        fp, fi, op, oi, ip_, ii = csr.hot()
         records: List[NodeRecord] = [
             (
                 u,
-                tuple(graph.friends[u]),
-                tuple(graph.rej_out[u]),
-                tuple(graph.rej_in[u]),
+                tuple(fi[fp[u] : fp[u + 1]]),
+                tuple(oi[op[u] : op[u + 1]]),
+                tuple(ii[ip_[u] : ip_[u + 1]]),
             )
-            for u in range(graph.num_nodes)
+            for u in range(csr.num_nodes)
         ]
         self.dataset: PartitionedDataset = self.context.parallelize(
             records, num_partitions=self.config.num_partitions
@@ -309,7 +314,7 @@ class DistributedKL:
 
 
 def distributed_maar(
-    graph: AugmentedSocialGraph,
+    graph,
     cluster_config: Optional[ClusterConfig] = None,
     maar_config: Optional[MAARConfig] = None,
     stats: Optional[ClusterRunStats] = None,
@@ -318,13 +323,16 @@ def distributed_maar(
 
     Mirrors :func:`repro.core.maar.solve_maar`'s sweep (rejection-init
     partition, geometric ``k`` grid, lowest-acceptance-rate winner) and
-    returns ``(suspicious_nodes, acceptance_rate, best_k)``.
+    returns ``(suspicious_nodes, acceptance_rate, best_k)``. ``graph``
+    may be an :class:`AugmentedSocialGraph` builder or a finalized
+    :class:`repro.core.csr.CSRGraph`.
     """
     maar_config = maar_config or MAARConfig()
-    engine = DistributedKL(graph, cluster_config)
+    csr = graph.csr()
+    engine = DistributedKL(csr, cluster_config)
     init_sides = [
-        SUSPICIOUS if graph.rej_in[u] else LEGITIMATE
-        for u in range(graph.num_nodes)
+        SUSPICIOUS if csr.rejections_received(u) else LEGITIMATE
+        for u in range(csr.num_nodes)
     ]
     best_sides: List[int] = []
     best_key = (float("inf"), 0)

@@ -3,19 +3,25 @@
 Public surface:
 
 * :class:`AugmentedSocialGraph` — the social graph augmented with
-  directed social rejections (Section III-A).
+  directed social rejections (Section III-A); a mutable *builder* that
+  finalizes into the flat-array :class:`CSRGraph` via ``.csr()``.
+* :class:`CSRGraph` / :class:`CSRView` / :class:`PartitionState` — the
+  immutable CSR snapshot, zero-copy residual views, and the unified
+  engine state the hot paths run on.
 * :class:`Partition` and the objective helpers — MAAR cut accounting.
 * :func:`extended_kl` — the paper's extension of Kernighan-Lin to
-  rejection-augmented graphs (Algorithm 1).
+  rejection-augmented graphs (Algorithm 1); :func:`extended_kl_state`
+  is the CSR-state engine entry point.
 * :func:`solve_maar` — geometric ``k`` sweep approximating the Minimum
   Aggregate Acceptance Rate cut (Theorem 1).
 * :class:`Rejecto` — the iterative detector (Section IV-E) with seed
   support (Section IV-F).
 """
 
+from .csr import CSRGraph, CSRView, PartitionState, resolve_backend
 from .gains import BucketGainIndex, GainIndex, HeapGainIndex, make_gain_index
 from .graph import AugmentedSocialGraph, GraphError
-from .kl import KLConfig, KLStats, extended_kl
+from .kl import KLConfig, KLStats, extended_kl, extended_kl_state
 from .maar import (
     KCandidate,
     MAARConfig,
@@ -50,6 +56,10 @@ from .validation import GraphValidationError, assert_valid_graph, validate_graph
 __all__ = [
     "AugmentedSocialGraph",
     "GraphError",
+    "CSRGraph",
+    "CSRView",
+    "PartitionState",
+    "resolve_backend",
     "Partition",
     "LEGITIMATE",
     "SUSPICIOUS",
@@ -66,6 +76,7 @@ __all__ = [
     "KLConfig",
     "KLStats",
     "extended_kl",
+    "extended_kl_state",
     "MAARConfig",
     "MAARResult",
     "KCandidate",

@@ -1,0 +1,719 @@
+"""Flat-array CSR core: immutable graph storage plus the partition engine state.
+
+The list-of-lists adjacency of :class:`repro.core.graph.AugmentedSocialGraph`
+is convenient to *build* but wasteful to *search*: every KL pass walks every
+adjacency list, and the iterative detector used to deep-copy the whole graph
+each round. This module provides the flat substrate the hot paths run on:
+
+* :class:`CSRGraph` — an immutable compressed-sparse-row snapshot of the
+  augmented graph ``G = (V, F, R⃗)``. Three CSR pairs (``ptr``/``idx``) hold
+  the friendship adjacency and the two rejection directions; an optional
+  parallel weight array per layer supports the multilevel solver's coarse
+  graphs. Adjacency is **sorted ascending**, which makes every downstream
+  iteration order — and therefore every FM bucket-list tie-break —
+  deterministic and independent of edge insertion order.
+* :class:`CSRView` — a zero-copy *residual view*: the same CSR arrays plus an
+  active-node byte mask. Rejecto's rounds shrink the view instead of
+  rebuilding the graph, so pruning a detected group costs O(V) instead of
+  O(V+E).
+* :class:`PartitionState` — sides, frozen-seed locks, and the incremental
+  MAAR cut counters (``f_cross``, ``r_cross``) in one place. This replaces
+  the ad hoc re-derivations that previously lived across ``partition.py``,
+  ``kl.py`` and ``maar.py``; the KL engine
+  (:func:`repro.core.kl.extended_kl_state`) mutates exactly this state.
+
+Backend convention
+------------------
+``backend`` is ``"python"``, ``"numpy"``, or ``"auto"``, mirroring
+:mod:`repro.baselines.linalg` and the SybilRank/SybilFence configs. Storage
+is always the stdlib ``array("q")`` / ``array("d")`` flat buffers (one
+canonical representation keeps the two backends bit-identical); the
+``"numpy"`` backend additionally exposes zero-copy ``int64``/``float64``
+views over those buffers via :meth:`CSRGraph.numpy_arrays` for vectorized
+consumers. The pure-Python hot loops deliberately run on cached ``list``
+views (:meth:`CSRGraph.hot`): CPython indexes plain lists faster than either
+``array`` or numpy scalars.
+"""
+
+from __future__ import annotations
+
+from array import array
+from bisect import bisect_left
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from .objectives import (
+    LEGITIMATE,
+    SUSPICIOUS,
+    acceptance_rate,
+    friends_to_rejections_ratio,
+)
+
+__all__ = ["CSRGraph", "CSRView", "PartitionState", "resolve_backend"]
+
+
+def _numpy_available() -> bool:
+    try:
+        import numpy  # noqa: F401
+    except ImportError:  # pragma: no cover - numpy is a hard dependency here
+        return False
+    return True
+
+
+def resolve_backend(backend: str) -> str:
+    """Normalize a ``backend`` request to ``"python"`` or ``"numpy"``.
+
+    ``"auto"`` prefers numpy when importable, matching the convention of
+    :mod:`repro.baselines.linalg`. Unknown names raise ``ValueError``.
+    """
+    if backend == "auto":
+        return "numpy" if _numpy_available() else "python"
+    if backend in ("python", "numpy"):
+        if backend == "numpy" and not _numpy_available():
+            raise ValueError("backend 'numpy' requested but numpy is not importable")
+        return backend
+    raise ValueError(f"unknown backend {backend!r}")
+
+
+def _build_csr(
+    num_nodes: int, adjacency: Sequence[Sequence[int]]
+) -> Tuple[array, array]:
+    """Pack per-node neighbour lists into (ptr, idx) arrays, sorted per row."""
+    ptr = array("q", [0] * (num_nodes + 1))
+    total = 0
+    for u in range(num_nodes):
+        total += len(adjacency[u])
+        ptr[u + 1] = total
+    idx = array("q", [0] * total)
+    pos = 0
+    for u in range(num_nodes):
+        for v in sorted(adjacency[u]):
+            idx[pos] = v
+            pos += 1
+    return ptr, idx
+
+
+def _build_weighted_csr(
+    num_nodes: int, adjacency: Sequence[Dict[int, float]]
+) -> Tuple[array, array, array]:
+    """Weighted variant: per-row sorted (ptr, idx, wt) triples."""
+    ptr = array("q", [0] * (num_nodes + 1))
+    total = 0
+    for u in range(num_nodes):
+        total += len(adjacency[u])
+        ptr[u + 1] = total
+    idx = array("q", [0] * total)
+    wt = array("d", [0.0] * total)
+    pos = 0
+    for u in range(num_nodes):
+        for v in sorted(adjacency[u]):
+            idx[pos] = v
+            wt[pos] = adjacency[u][v]
+            pos += 1
+    return ptr, idx, wt
+
+
+class CSRGraph:
+    """Immutable CSR snapshot of a rejection-augmented social graph.
+
+    Layout (all adjacency sorted ascending within each row):
+
+    * ``f_ptr``/``f_idx`` — undirected friendships; each edge appears in
+      both endpoints' rows, so ``len(f_idx) == 2·|F|``.
+    * ``ro_ptr``/``ro_idx`` — rejections *cast*: row ``u`` lists the users
+      whose requests ``u`` rejected.
+    * ``ri_ptr``/``ri_idx`` — rejections *received*: row ``u`` lists the
+      users that rejected ``u``'s requests. ``len(ro_idx) == len(ri_idx)
+      == |R⃗|``.
+    * ``f_wt``/``ro_wt``/``ri_wt`` — optional parallel weights (``None``
+      for plain graphs); present on coarse multilevel graphs.
+
+    Instances are immutable by convention: every mutation path goes through
+    the :class:`~repro.core.graph.AugmentedSocialGraph` builder, which
+    finalizes into a (cached) ``CSRGraph`` via its ``csr()`` method.
+    """
+
+    __slots__ = (
+        "num_nodes",
+        "backend",
+        "f_ptr",
+        "f_idx",
+        "ro_ptr",
+        "ro_idx",
+        "ri_ptr",
+        "ri_idx",
+        "f_wt",
+        "ro_wt",
+        "ri_wt",
+        "_hot_cache",
+        "_hot_wt_cache",
+        "_np_cache",
+    )
+
+    def __init__(
+        self,
+        num_nodes: int,
+        f_ptr: array,
+        f_idx: array,
+        ro_ptr: array,
+        ro_idx: array,
+        ri_ptr: array,
+        ri_idx: array,
+        f_wt: Optional[array] = None,
+        ro_wt: Optional[array] = None,
+        ri_wt: Optional[array] = None,
+        backend: str = "auto",
+    ) -> None:
+        self.num_nodes = num_nodes
+        self.backend = resolve_backend(backend)
+        self.f_ptr, self.f_idx = f_ptr, f_idx
+        self.ro_ptr, self.ro_idx = ro_ptr, ro_idx
+        self.ri_ptr, self.ri_idx = ri_ptr, ri_idx
+        self.f_wt, self.ro_wt, self.ri_wt = f_wt, ro_wt, ri_wt
+        self._hot_cache: Optional[Tuple[List[int], ...]] = None
+        self._hot_wt_cache: Optional[Tuple[List[float], ...]] = None
+        self._np_cache: Optional[Dict[str, object]] = None
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_builder(cls, graph, backend: str = "auto") -> "CSRGraph":
+        """Finalize an :class:`AugmentedSocialGraph` builder into CSR form."""
+        n = graph.num_nodes
+        f_ptr, f_idx = _build_csr(n, graph.friends)
+        ro_ptr, ro_idx = _build_csr(n, graph.rej_out)
+        ri_ptr, ri_idx = _build_csr(n, graph.rej_in)
+        return cls(n, f_ptr, f_idx, ro_ptr, ro_idx, ri_ptr, ri_idx, backend=backend)
+
+    @classmethod
+    def from_edges(
+        cls,
+        num_nodes: int,
+        friendships: Iterable[Tuple[int, int]] = (),
+        rejections: Iterable[Tuple[int, int]] = (),
+        backend: str = "auto",
+    ) -> "CSRGraph":
+        """Build directly from edge lists (duplicates collapse, as in the
+        builder)."""
+        friends: List[List[int]] = [[] for _ in range(num_nodes)]
+        rej_out: List[List[int]] = [[] for _ in range(num_nodes)]
+        rej_in: List[List[int]] = [[] for _ in range(num_nodes)]
+        friend_set = set()
+        for u, v in friendships:
+            key = (u, v) if u <= v else (v, u)
+            if u == v or key in friend_set:
+                continue
+            friend_set.add(key)
+            friends[u].append(v)
+            friends[v].append(u)
+        rej_set = set()
+        for rejecter, sender in rejections:
+            if rejecter == sender or (rejecter, sender) in rej_set:
+                continue
+            rej_set.add((rejecter, sender))
+            rej_out[rejecter].append(sender)
+            rej_in[sender].append(rejecter)
+        f_ptr, f_idx = _build_csr(num_nodes, friends)
+        ro_ptr, ro_idx = _build_csr(num_nodes, rej_out)
+        ri_ptr, ri_idx = _build_csr(num_nodes, rej_in)
+        return cls(
+            num_nodes, f_ptr, f_idx, ro_ptr, ro_idx, ri_ptr, ri_idx, backend=backend
+        )
+
+    @classmethod
+    def from_weighted(cls, graph, backend: str = "auto") -> "CSRGraph":
+        """Finalize a :class:`~repro.core.weighted.WeightedAugmentedGraph`."""
+        n = graph.num_nodes
+        f_ptr, f_idx, f_wt = _build_weighted_csr(n, graph.friends)
+        ro_ptr, ro_idx, ro_wt = _build_weighted_csr(n, graph.rej_out)
+        ri_ptr, ri_idx, ri_wt = _build_weighted_csr(n, graph.rej_in)
+        return cls(
+            n,
+            f_ptr,
+            f_idx,
+            ro_ptr,
+            ro_idx,
+            ri_ptr,
+            ri_idx,
+            f_wt=f_wt,
+            ro_wt=ro_wt,
+            ri_wt=ri_wt,
+            backend=backend,
+        )
+
+    # ------------------------------------------------------------------
+    # Array views
+    # ------------------------------------------------------------------
+    @property
+    def weighted(self) -> bool:
+        return self.f_wt is not None
+
+    def hot(self) -> Tuple[List[int], ...]:
+        """Cached plain-list views ``(f_ptr, f_idx, ro_ptr, ro_idx, ri_ptr,
+        ri_idx)`` for the pure-Python hot loops."""
+        cache = self._hot_cache
+        if cache is None:
+            cache = (
+                list(self.f_ptr),
+                list(self.f_idx),
+                list(self.ro_ptr),
+                list(self.ro_idx),
+                list(self.ri_ptr),
+                list(self.ri_idx),
+            )
+            self._hot_cache = cache
+        return cache
+
+    def hot_weights(self) -> Optional[Tuple[List[float], ...]]:
+        """Cached list views of ``(f_wt, ro_wt, ri_wt)``; ``None`` when the
+        graph is unweighted."""
+        if self.f_wt is None:
+            return None
+        cache = self._hot_wt_cache
+        if cache is None:
+            cache = (list(self.f_wt), list(self.ro_wt), list(self.ri_wt))
+            self._hot_wt_cache = cache
+        return cache
+
+    def numpy_arrays(self) -> Dict[str, object]:
+        """Zero-copy numpy views over the CSR buffers (``int64`` indices,
+        ``float64`` weights). Available on any instance with numpy
+        importable; the ``"numpy"`` backend guarantees it."""
+        cache = self._np_cache
+        if cache is None:
+            import numpy as np
+
+            cache = {
+                "f_ptr": np.frombuffer(self.f_ptr, dtype=np.int64),
+                "f_idx": np.frombuffer(self.f_idx, dtype=np.int64),
+                "ro_ptr": np.frombuffer(self.ro_ptr, dtype=np.int64),
+                "ro_idx": np.frombuffer(self.ro_idx, dtype=np.int64),
+                "ri_ptr": np.frombuffer(self.ri_ptr, dtype=np.int64),
+                "ri_idx": np.frombuffer(self.ri_idx, dtype=np.int64),
+            }
+            if self.f_wt is not None:
+                cache["f_wt"] = np.frombuffer(self.f_wt, dtype=np.float64)
+                cache["ro_wt"] = np.frombuffer(self.ro_wt, dtype=np.float64)
+                cache["ri_wt"] = np.frombuffer(self.ri_wt, dtype=np.float64)
+            self._np_cache = cache
+        return cache
+
+    # ------------------------------------------------------------------
+    # Queries (builder-compatible surface)
+    # ------------------------------------------------------------------
+    def csr(self, backend: str = "auto") -> "CSRGraph":
+        """A CSR graph finalizes to itself — lets callers accept either a
+        builder or a finalized graph uniformly."""
+        return self
+
+    def degree(self, u: int) -> int:
+        return self.f_ptr[u + 1] - self.f_ptr[u]
+
+    def rejections_cast(self, u: int) -> int:
+        return self.ro_ptr[u + 1] - self.ro_ptr[u]
+
+    def rejections_received(self, u: int) -> int:
+        return self.ri_ptr[u + 1] - self.ri_ptr[u]
+
+    def friends_of(self, u: int) -> List[int]:
+        """The (sorted) friend list of ``u`` as a fresh list."""
+        return list(self.f_idx[self.f_ptr[u] : self.f_ptr[u + 1]])
+
+    def has_friendship(self, u: int, v: int) -> bool:
+        lo, hi = self.f_ptr[u], self.f_ptr[u + 1]
+        pos = bisect_left(self.f_idx, v, lo, hi)
+        return pos < hi and self.f_idx[pos] == v
+
+    def has_rejection(self, rejecter: int, sender: int) -> bool:
+        lo, hi = self.ro_ptr[rejecter], self.ro_ptr[rejecter + 1]
+        pos = bisect_left(self.ro_idx, sender, lo, hi)
+        return pos < hi and self.ro_idx[pos] == sender
+
+    @property
+    def num_friendships(self) -> int:
+        return len(self.f_idx) // 2
+
+    @property
+    def num_rejections(self) -> int:
+        return len(self.ro_idx)
+
+    def friendships(self) -> Iterator[Tuple[int, int]]:
+        """Iterate friendships as canonical ``(min, max)`` pairs, sorted."""
+        f_ptr, f_idx = self.f_ptr, self.f_idx
+        for u in range(self.num_nodes):
+            for i in range(f_ptr[u], f_ptr[u + 1]):
+                v = f_idx[i]
+                if u < v:
+                    yield (u, v)
+
+    def rejections(self) -> Iterator[Tuple[int, int]]:
+        """Iterate rejections as ``(rejecter, sender)`` pairs, sorted."""
+        ro_ptr, ro_idx = self.ro_ptr, self.ro_idx
+        for u in range(self.num_nodes):
+            for i in range(ro_ptr[u], ro_ptr[u + 1]):
+                yield (u, ro_idx[i])
+
+    def nodes(self) -> range:
+        return range(self.num_nodes)
+
+    def view(self) -> "CSRView":
+        """An all-active residual view of this graph."""
+        return CSRView(self)
+
+    def __len__(self) -> int:
+        return self.num_nodes
+
+    def __repr__(self) -> str:
+        kind = "weighted " if self.weighted else ""
+        return (
+            f"CSRGraph({kind}nodes={self.num_nodes}, "
+            f"friendships={self.num_friendships}, "
+            f"rejections={self.num_rejections}, backend={self.backend!r})"
+        )
+
+
+class CSRView:
+    """A zero-copy residual view: shared CSR arrays + an active-node mask.
+
+    ``active`` is a bytearray of 0/1 flags. Views are cheap to derive
+    (:meth:`without` copies only the mask, O(V)) and never touch the edge
+    arrays, which is what removes the per-round O(V+E) subgraph copies from
+    the iterative detector.
+    """
+
+    __slots__ = ("csr", "active", "num_active")
+
+    def __init__(
+        self,
+        csr: CSRGraph,
+        active: Optional[bytearray] = None,
+        num_active: Optional[int] = None,
+    ) -> None:
+        self.csr = csr
+        if active is None:
+            active = bytearray(b"\x01") * csr.num_nodes
+            num_active = csr.num_nodes
+        elif num_active is None:
+            num_active = sum(active)
+        self.active = active
+        self.num_active = num_active
+
+    def without(self, removed: Iterable[int]) -> "CSRView":
+        """A new view with the given nodes deactivated (idempotent)."""
+        active = bytearray(self.active)
+        dropped = 0
+        for u in removed:
+            if active[u]:
+                active[u] = 0
+                dropped += 1
+        return CSRView(self.csr, active, self.num_active - dropped)
+
+    def is_active(self, u: int) -> bool:
+        return bool(self.active[u])
+
+    def active_nodes(self) -> List[int]:
+        return [u for u in range(self.csr.num_nodes) if self.active[u]]
+
+    def degree(self, u: int) -> int:
+        """Friend count of ``u`` restricted to active neighbours."""
+        csr, active = self.csr, self.active
+        return sum(
+            1
+            for i in range(csr.f_ptr[u], csr.f_ptr[u + 1])
+            if active[csr.f_idx[i]]
+        )
+
+    def rejections_received(self, u: int) -> int:
+        """In-rejection count of ``u`` restricted to active rejecters."""
+        csr, active = self.csr, self.active
+        return sum(
+            1
+            for i in range(csr.ri_ptr[u], csr.ri_ptr[u + 1])
+            if active[csr.ri_idx[i]]
+        )
+
+    def __repr__(self) -> str:
+        return f"CSRView(active={self.num_active}/{self.csr.num_nodes})"
+
+
+class PartitionState:
+    """Sides, frozen-seed locks, and incremental MAAR cut counters over a
+    residual view — the single state object the KL engine mutates.
+
+    Semantics match :class:`repro.core.partition.Partition` restricted to
+    the view's active nodes: ``f_cross`` counts active-active cross
+    friendships, ``r_cross`` counts rejections cast by active side-0 nodes
+    onto active side-1 nodes. On weighted CSR graphs both counters are
+    weight sums (floats).
+    """
+
+    __slots__ = ("view", "sides", "locked", "f_cross", "r_cross", "side_sizes")
+
+    def __init__(
+        self,
+        view: CSRView,
+        sides: Sequence[int],
+        locked: Optional[Sequence[bool]] = None,
+    ) -> None:
+        n = view.csr.num_nodes
+        if len(sides) != n:
+            raise ValueError(f"sides has length {len(sides)}, expected {n}")
+        bad = [s for s in sides if s not in (LEGITIMATE, SUSPICIOUS)]
+        if bad:
+            raise ValueError(f"sides must be 0 or 1, found {bad[0]!r}")
+        if locked is None:
+            locked = [False] * n
+        elif len(locked) != n:
+            raise ValueError(f"locked has length {len(locked)}, expected {n}")
+        self.view = view
+        self.sides: List[int] = list(sides)
+        self.locked: List[bool] = list(locked)
+        self.recount()
+
+    def recount(self) -> None:
+        """Recompute the counters and side sizes from scratch (O(V+E))."""
+        view = self.view
+        csr, active, sides = view.csr, view.active, self.sides
+        fp, fi, op, oi = csr.f_ptr, csr.f_idx, csr.ro_ptr, csr.ro_idx
+        weights = csr.hot_weights()
+        ones = 0
+        if weights is None:
+            f_cross = r_cross = 0
+            for u in range(csr.num_nodes):
+                if not active[u]:
+                    continue
+                s = sides[u]
+                ones += s
+                for i in range(fp[u], fp[u + 1]):
+                    v = fi[i]
+                    if u < v and active[v] and sides[v] != s:
+                        f_cross += 1
+                if s == LEGITIMATE:
+                    for i in range(op[u], op[u + 1]):
+                        v = oi[i]
+                        if active[v] and sides[v] == SUSPICIOUS:
+                            r_cross += 1
+        else:
+            fw, ow, _ = weights
+            f_cross = r_cross = 0.0
+            for u in range(csr.num_nodes):
+                if not active[u]:
+                    continue
+                s = sides[u]
+                ones += s
+                for i in range(fp[u], fp[u + 1]):
+                    v = fi[i]
+                    if u < v and active[v] and sides[v] != s:
+                        f_cross += fw[i]
+                if s == LEGITIMATE:
+                    for i in range(op[u], op[u + 1]):
+                        v = oi[i]
+                        if active[v] and sides[v] == SUSPICIOUS:
+                            r_cross += ow[i]
+        self.f_cross = f_cross
+        self.r_cross = r_cross
+        self.side_sizes = [view.num_active - ones, ones]
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def switch(self, u: int) -> None:
+        """Move active node ``u`` to the other side, updating the counters.
+
+        Same delta rules as ``Partition.switch``, restricted to active
+        neighbours (inactive nodes contribute to no counter).
+        """
+        view = self.view
+        csr, active, sides = view.csr, view.active, self.sides
+        fp, fi, op, oi, ip_, ii = csr.hot()
+        weights = csr.hot_weights()
+        s = sides[u]
+        if weights is None:
+            friends_delta = 0
+            for i in range(fp[u], fp[u + 1]):
+                v = fi[i]
+                if active[v]:
+                    friends_delta += 1 if sides[v] == s else -1
+            rej_delta = 0
+            sign = -1 if s == LEGITIMATE else 1
+            for i in range(op[u], op[u + 1]):
+                v = oi[i]
+                if active[v] and sides[v] == SUSPICIOUS:
+                    rej_delta += sign
+            for i in range(ip_[u], ip_[u + 1]):
+                w = ii[i]
+                if active[w] and sides[w] == LEGITIMATE:
+                    rej_delta -= sign
+        else:
+            fw, ow, iw = weights
+            friends_delta = 0.0
+            for i in range(fp[u], fp[u + 1]):
+                v = fi[i]
+                if active[v]:
+                    friends_delta += fw[i] if sides[v] == s else -fw[i]
+            rej_delta = 0.0
+            sign = -1.0 if s == LEGITIMATE else 1.0
+            for i in range(op[u], op[u + 1]):
+                v = oi[i]
+                if active[v] and sides[v] == SUSPICIOUS:
+                    rej_delta += sign * ow[i]
+            for i in range(ip_[u], ip_[u + 1]):
+                w = ii[i]
+                if active[w] and sides[w] == LEGITIMATE:
+                    rej_delta -= sign * iw[i]
+        self.f_cross += friends_delta
+        self.r_cross += rej_delta
+        self.side_sizes[s] -= 1
+        self.side_sizes[1 - s] += 1
+        sides[u] = 1 - s
+
+    def switch_gain(self, u: int, k: float) -> float:
+        """Gain (decrease in ``W = f_cross − k·r_cross``) of switching ``u``.
+
+        Pure query; the reference against which the engine's incremental
+        gain indexes are property-tested.
+        """
+        view = self.view
+        csr, active, sides = view.csr, view.active, self.sides
+        fp, fi, op, oi, ip_, ii = csr.hot()
+        weights = csr.hot_weights()
+        s = sides[u]
+        if weights is None:
+            friends_delta = 0
+            for i in range(fp[u], fp[u + 1]):
+                v = fi[i]
+                if active[v]:
+                    friends_delta += 1 if sides[v] == s else -1
+            rej_delta = 0
+            sign = -1 if s == LEGITIMATE else 1
+            for i in range(op[u], op[u + 1]):
+                v = oi[i]
+                if active[v] and sides[v] == SUSPICIOUS:
+                    rej_delta += sign
+            for i in range(ip_[u], ip_[u + 1]):
+                w = ii[i]
+                if active[w] and sides[w] == LEGITIMATE:
+                    rej_delta -= sign
+        else:
+            fw, ow, iw = weights
+            friends_delta = 0.0
+            for i in range(fp[u], fp[u + 1]):
+                v = fi[i]
+                if active[v]:
+                    friends_delta += fw[i] if sides[v] == s else -fw[i]
+            rej_delta = 0.0
+            sign = -1.0 if s == LEGITIMATE else 1.0
+            for i in range(op[u], op[u + 1]):
+                v = oi[i]
+                if active[v] and sides[v] == SUSPICIOUS:
+                    rej_delta += sign * ow[i]
+            for i in range(ip_[u], ip_[u + 1]):
+                w = ii[i]
+                if active[w] and sides[w] == LEGITIMATE:
+                    rej_delta -= sign * iw[i]
+        return -(friends_delta - k * rej_delta)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def num_active(self) -> int:
+        return self.view.num_active
+
+    def suspicious_nodes(self) -> List[int]:
+        """Active node ids currently on side 1, ascending."""
+        active, sides = self.view.active, self.sides
+        return [
+            u
+            for u in range(self.view.csr.num_nodes)
+            if active[u] and sides[u] == SUSPICIOUS
+        ]
+
+    def legitimate_nodes(self) -> List[int]:
+        active, sides = self.view.active, self.sides
+        return [
+            u
+            for u in range(self.view.csr.num_nodes)
+            if active[u] and sides[u] == LEGITIMATE
+        ]
+
+    @property
+    def suspicious_size(self) -> int:
+        return self.side_sizes[SUSPICIOUS]
+
+    @property
+    def legitimate_size(self) -> int:
+        return self.side_sizes[LEGITIMATE]
+
+    def acceptance_rate(self) -> float:
+        return acceptance_rate(self.f_cross, self.r_cross)
+
+    def ratio(self) -> float:
+        return friends_to_rejections_ratio(self.f_cross, self.r_cross)
+
+    def objective(self, k: float) -> float:
+        return self.f_cross - k * self.r_cross
+
+    def max_abs_gain(self, k: float) -> float:
+        """A lifetime bound on ``|gain(u)|`` over active nodes (full-graph
+        degrees bound the active-filtered ones, so this stays valid as the
+        engine switches nodes)."""
+        view = self.view
+        csr, active = view.csr, view.active
+        fp, op, ip_ = csr.f_ptr, csr.ro_ptr, csr.ri_ptr
+        weights = csr.hot_weights()
+        bound = 0.0
+        if weights is None:
+            for u in range(csr.num_nodes):
+                if not active[u]:
+                    continue
+                weight = (fp[u + 1] - fp[u]) + k * (
+                    (op[u + 1] - op[u]) + (ip_[u + 1] - ip_[u])
+                )
+                if weight > bound:
+                    bound = weight
+        else:
+            fw, ow, iw = weights
+            for u in range(csr.num_nodes):
+                if not active[u]:
+                    continue
+                weight = sum(fw[fp[u] : fp[u + 1]]) + k * (
+                    sum(ow[op[u] : op[u + 1]]) + sum(iw[ip_[u] : ip_[u + 1]])
+                )
+                if weight > bound:
+                    bound = weight
+        return bound
+
+    def verify_counts(self) -> bool:
+        """Check the incremental counters against a from-scratch recount."""
+        f, r = self.f_cross, self.r_cross
+        sizes = list(self.side_sizes)
+        self.recount()
+        if self.view.csr.weighted:
+            ok = (
+                abs(f - self.f_cross) < 1e-6
+                and abs(r - self.r_cross) < 1e-6
+                and sizes == self.side_sizes
+            )
+        else:
+            ok = (f, r) == (self.f_cross, self.r_cross) and sizes == self.side_sizes
+        self.f_cross, self.r_cross, self.side_sizes = f, r, sizes
+        return ok
+
+    def copy(self) -> "PartitionState":
+        """Independent sides/counters sharing the view and lock vector."""
+        clone = PartitionState.__new__(PartitionState)
+        clone.view = self.view
+        clone.sides = list(self.sides)
+        clone.locked = self.locked
+        clone.f_cross = self.f_cross
+        clone.r_cross = self.r_cross
+        clone.side_sizes = list(self.side_sizes)
+        return clone
+
+    def __repr__(self) -> str:
+        return (
+            f"PartitionState(active={self.num_active}, "
+            f"suspicious={self.suspicious_size}, f_cross={self.f_cross}, "
+            f"r_cross={self.r_cross})"
+        )

@@ -11,10 +11,12 @@ social graph ``G = (V, F, R⃗)``:
   Multiple rejections between the same pair collapse into a single edge,
   exactly as in the paper.
 
-The adjacency is stored in flat ``list[list[int]]`` structures because the
-extended Kernighan-Lin search (:mod:`repro.core.kl`) iterates neighbour
-lists in its innermost loop; attribute-heavy node objects would dominate
-the runtime there.
+:class:`AugmentedSocialGraph` is the mutable *builder*: adjacency lives in
+``list[list[int]]`` structures convenient for incremental edge insertion.
+The hot paths (extended KL, the MAAR sweep, Rejecto's rounds) do not run on
+the builder — they run on its immutable flat-array finalization,
+:class:`repro.core.csr.CSRGraph`, obtained from :meth:`AugmentedSocialGraph.csr`
+(cached; invalidated by any mutation).
 """
 
 from __future__ import annotations
@@ -56,6 +58,7 @@ class AugmentedSocialGraph:
         "rej_in",
         "_friend_set",
         "_rej_set",
+        "_csr_cache",
     )
 
     def __init__(self, num_nodes: int) -> None:
@@ -70,6 +73,7 @@ class AugmentedSocialGraph:
         self.rej_in: List[List[int]] = [[] for _ in range(num_nodes)]
         self._friend_set: set = set()
         self._rej_set: set = set()
+        self._csr_cache = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -103,6 +107,7 @@ class AugmentedSocialGraph:
         self.rej_out.append([])
         self.rej_in.append([])
         self.num_nodes += 1
+        self._csr_cache = None
         return self.num_nodes - 1
 
     def add_nodes(self, count: int) -> List[int]:
@@ -127,6 +132,7 @@ class AugmentedSocialGraph:
         self._friend_set.add(key)
         self.friends[u].append(v)
         self.friends[v].append(u)
+        self._csr_cache = None
         return True
 
     def add_rejection(self, rejecter: int, sender: int) -> bool:
@@ -145,6 +151,7 @@ class AugmentedSocialGraph:
         self._rej_set.add(key)
         self.rej_out[rejecter].append(sender)
         self.rej_in[sender].append(rejecter)
+        self._csr_cache = None
         return True
 
     # ------------------------------------------------------------------
@@ -196,6 +203,27 @@ class AugmentedSocialGraph:
         return range(self.num_nodes)
 
     # ------------------------------------------------------------------
+    # Finalization
+    # ------------------------------------------------------------------
+    def csr(self, backend: str = "auto"):
+        """Finalize into an immutable :class:`repro.core.csr.CSRGraph`.
+
+        The snapshot is cached and reused until the next mutation
+        (``add_node``/``add_friendship``/``add_rejection``), so repeated
+        solver calls on the same graph pay the O(V+E) conversion once.
+        Adjacency is sorted ascending in the snapshot, making downstream
+        iteration order independent of edge insertion order.
+        """
+        from .csr import CSRGraph, resolve_backend
+
+        backend = resolve_backend(backend)
+        cache = self._csr_cache
+        if cache is None or cache.backend != backend:
+            cache = CSRGraph.from_builder(self, backend=backend)
+            self._csr_cache = cache
+        return cache
+
+    # ------------------------------------------------------------------
     # Derived graphs
     # ------------------------------------------------------------------
     def copy(self) -> "AugmentedSocialGraph":
@@ -214,19 +242,22 @@ class AugmentedSocialGraph:
         """Induced subgraph on the nodes in ``keep``.
 
         Returns ``(graph, old_ids)`` where ``old_ids[new_id]`` maps each
-        node of the subgraph back to its id in this graph. The iterative
-        detector (:mod:`repro.core.rejecto`) uses this to prune detected
-        spammer groups between rounds.
+        node of the subgraph back to its id in this graph. The legacy
+        engine of the iterative detector (:mod:`repro.core.rejecto`) uses
+        this to prune detected spammer groups between rounds; the CSR
+        engine uses zero-copy residual views instead. Edges are inserted
+        in sorted order so the subgraph's adjacency lists are ascending —
+        deterministic regardless of this graph's insertion history.
         """
         old_ids = sorted(set(keep))
         for u in old_ids:
             self._check_node(u)
         new_id: Dict[int, int] = {old: new for new, old in enumerate(old_ids)}
         sub = AugmentedSocialGraph(len(old_ids))
-        for u, v in self._friend_set:
+        for u, v in sorted(self._friend_set):
             if u in new_id and v in new_id:
                 sub.add_friendship(new_id[u], new_id[v])
-        for u, v in self._rej_set:
+        for u, v in sorted(self._rej_set):
             if u in new_id and v in new_id:
                 sub.add_rejection(new_id[u], new_id[v])
         return sub, old_ids

@@ -24,6 +24,22 @@ improves the objective.
 Seed nodes (Section IV-F) are *locked*: they are pre-placed on their
 known side and never enter the gain index, which prunes the misleading
 low-ratio cuts inside the legitimate region from the search space.
+
+Engines
+-------
+Two engines implement the identical greedy discipline (same gain
+arithmetic, same FM LIFO tie-breaks, same best-prefix rollback — parity
+is asserted in ``tests/core/test_parity.py``):
+
+* ``engine="csr"`` (default) — runs on the flat-array
+  :class:`repro.core.csr.PartitionState`. On the default 1/8 ``k`` grid
+  it uses an *inlined* integer-scaled bucket list: counter updates and
+  neighbour gain adjustments happen in one fused sweep per switched
+  node, with zero per-edge function calls. Off-grid ``k`` (Dinkelbach
+  refinement) and weighted coarse graphs fall back to the lazy heap.
+* ``engine="legacy"`` — the original loop over the builder's
+  list-of-lists adjacency and the :mod:`repro.core.gains` index objects;
+  kept as the parity/benchmark reference.
 """
 
 from __future__ import annotations
@@ -31,11 +47,18 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
-from .gains import make_gain_index
+from .csr import PartitionState
+from .gains import HeapGainIndex, _on_grid, make_gain_index
 from .graph import AugmentedSocialGraph
 from .partition import Partition
 
-__all__ = ["KLConfig", "KLStats", "extended_kl"]
+__all__ = [
+    "KLConfig",
+    "KLStats",
+    "extended_kl",
+    "extended_kl_state",
+    "adjust_neighbor_gains",
+]
 
 _EPS = 1e-9
 
@@ -48,7 +71,8 @@ class KLConfig:
     ----------
     gain_index:
         ``"bucket"`` (FM bucket list), ``"heap"`` (lazy-deletion heap) or
-        ``"auto"`` (bucket when ``k`` sits on the ``1/resolution`` grid).
+        ``"auto"`` (bucket when ``k`` sits on the ``1/resolution`` grid
+        and the graph is unweighted).
     resolution:
         Grid denominator for the bucket list. With the default geometric
         ``k`` sequence (k = 1/8 · 2^i) every gain is a multiple of 1/8.
@@ -61,12 +85,17 @@ class KLConfig:
         ``None`` performs the full pass (the paper's behaviour); a finite
         limit trades a little cut quality for a large speedup on big
         graphs (see the ablation benchmark).
+    engine:
+        ``"csr"`` (default) runs on the flat-array CSR core;
+        ``"legacy"`` runs the original list-of-lists loop. Both produce
+        identical results on sorted-adjacency inputs.
     """
 
     gain_index: str = "auto"
     resolution: int = 8
     max_passes: int = 30
     stall_limit: Optional[int] = None
+    engine: str = "csr"
 
 
 @dataclass
@@ -79,6 +108,412 @@ class KLStats:
     objective_history: List[float] = field(default_factory=list)
 
 
+# ----------------------------------------------------------------------
+# CSR engine
+# ----------------------------------------------------------------------
+def adjust_neighbor_gains(
+    index, state: PartitionState, u: int, prev_side: int, k: float
+) -> None:
+    """Apply the O(1)-per-edge gain updates for the neighbours of a node
+    that just switched away from ``prev_side``.
+
+    This is the single shared update rule of every engine (core bucket,
+    core heap, weighted, distributed): friends move by ``±2·w``; each
+    rejection edge moves its *other* endpoint by ``(2·side−1)·k·(1−2·
+    prev_side)·w``. Exported so the property tests can drive the gain
+    indexes through the exact production update path.
+    """
+    view = state.view
+    csr = view.csr
+    fp, fi, op, oi, ip_, ii = csr.hot()
+    active = view.active
+    sides = state.sides
+    weights = csr.hot_weights()
+    rej_sign = k * (1 - 2 * prev_side)
+    if weights is None:
+        for i in range(fp[u], fp[u + 1]):
+            v = fi[i]
+            if active[v] and v in index:
+                index.adjust(v, 2.0 if sides[v] == prev_side else -2.0)
+        for i in range(op[u], op[u + 1]):
+            v = oi[i]
+            if active[v] and v in index:
+                index.adjust(v, (2 * sides[v] - 1) * rej_sign)
+        for i in range(ip_[u], ip_[u + 1]):
+            w = ii[i]
+            if active[w] and w in index:
+                index.adjust(w, (2 * sides[w] - 1) * rej_sign)
+    else:
+        fw, ow, iw = weights
+        for i in range(fp[u], fp[u + 1]):
+            v = fi[i]
+            if active[v] and v in index:
+                index.adjust(
+                    v, 2.0 * fw[i] if sides[v] == prev_side else -2.0 * fw[i]
+                )
+        for i in range(op[u], op[u + 1]):
+            v = oi[i]
+            if active[v] and v in index:
+                index.adjust(v, (2 * sides[v] - 1) * rej_sign * ow[i])
+        for i in range(ip_[u], ip_[u + 1]):
+            w = ii[i]
+            if active[w] and w in index:
+                index.adjust(w, (2 * sides[w] - 1) * rej_sign * iw[i])
+
+
+def _run_bucket_passes(
+    state: PartitionState, k: float, config: KLConfig, stats: Optional[KLStats]
+) -> None:
+    """The fused integer-scaled FM bucket engine (unweighted, on-grid k).
+
+    Gains are stored as integers scaled by ``resolution``; on the 1/8
+    grid every legacy float gain is binary-exact, so the integer engine
+    reproduces the legacy pop order and best-prefix decisions bit for
+    bit. The per-switch loop fuses the cut-counter update with the
+    neighbour bucket relinks — one sweep per incident edge, no function
+    calls — which is where the end-to-end speedup over the legacy engine
+    comes from (see ``BENCH_gain_index.json``).
+    """
+    view = state.view
+    csr = view.csr
+    fp, fi, op, oi, ip_, ii = csr.hot()
+    active = view.active
+    sides = state.sides
+    locked = state.locked
+    n = csr.num_nodes
+    res = config.resolution
+    k_scaled = round(k * res)
+    two_res = 2 * res
+    f_cross = state.f_cross
+    r_cross = state.r_cross
+    stall_limit = config.stall_limit
+
+    bound = 0
+    for u in range(n):
+        if active[u]:
+            w = (fp[u + 1] - fp[u]) * res + k_scaled * (
+                (op[u + 1] - op[u]) + (ip_[u + 1] - ip_[u])
+            )
+            if w > bound:
+                bound = w
+    offset = bound + 1
+    num_buckets = 2 * bound + 3
+    absent = -1
+
+    for _ in range(config.max_passes):
+        if stats is not None:
+            stats.passes += 1
+            stats.objective_history.append(f_cross - k * r_cross)
+
+        heads = [absent] * num_buckets
+        nxt = [absent] * n
+        prv = [absent] * n
+        bucket_of = [absent] * n
+        max_b = -1
+        size = 0
+
+        # Initial gains, inserted in ascending node order (the legacy
+        # discipline — LIFO within each bucket).
+        for u in range(n):
+            if not active[u] or locked[u]:
+                continue
+            s = sides[u]
+            fd = 0
+            for i in range(fp[u], fp[u + 1]):
+                v = fi[i]
+                if active[v]:
+                    fd += 1 if sides[v] == s else -1
+            rd = 0
+            if s:
+                for i in range(op[u], op[u + 1]):
+                    v = oi[i]
+                    if active[v] and sides[v]:
+                        rd += 1
+                for i in range(ip_[u], ip_[u + 1]):
+                    w = ii[i]
+                    if active[w] and not sides[w]:
+                        rd -= 1
+            else:
+                for i in range(op[u], op[u + 1]):
+                    v = oi[i]
+                    if active[v] and sides[v]:
+                        rd -= 1
+                for i in range(ip_[u], ip_[u + 1]):
+                    w = ii[i]
+                    if active[w] and not sides[w]:
+                        rd += 1
+            b = k_scaled * rd - fd * res + offset
+            h = heads[b]
+            nxt[u] = h
+            prv[u] = absent
+            if h >= 0:
+                prv[h] = u
+            heads[b] = u
+            bucket_of[u] = b
+            if b > max_b:
+                max_b = b
+            size += 1
+
+        sequence: List[tuple] = []
+        cumulative = 0
+        best_cumulative = 0
+        best_length = 0
+        stall = 0
+        while size:
+            if stall_limit is not None and stall >= stall_limit:
+                break
+            while heads[max_b] < 0:
+                max_b -= 1
+            b = max_b
+            u = heads[b]
+            nx = nxt[u]
+            heads[b] = nx
+            if nx >= 0:
+                prv[nx] = absent
+            bucket_of[u] = absent
+            size -= 1
+
+            s = sides[u]
+            fd = 0
+            rd = 0
+            # Fused switch: counter deltas and neighbour bucket relinks in
+            # one sweep per edge, in the legacy order (friends, rejections
+            # cast, rejections received).
+            for i in range(fp[u], fp[u + 1]):
+                v = fi[i]
+                if not active[v]:
+                    continue
+                if sides[v] == s:
+                    fd += 1
+                    d = two_res
+                else:
+                    fd -= 1
+                    d = -two_res
+                bv = bucket_of[v]
+                if bv >= 0:
+                    nbv = bv + d
+                    nx2 = nxt[v]
+                    pv2 = prv[v]
+                    if pv2 >= 0:
+                        nxt[pv2] = nx2
+                    else:
+                        heads[bv] = nx2
+                    if nx2 >= 0:
+                        prv[nx2] = pv2
+                    h = heads[nbv]
+                    nxt[v] = h
+                    prv[v] = absent
+                    if h >= 0:
+                        prv[h] = v
+                    heads[nbv] = v
+                    bucket_of[v] = nbv
+                    if nbv > max_b:
+                        max_b = nbv
+            if s:
+                rs = -k_scaled
+                rd_on_susp = 1
+                rd_on_legit = -1
+            else:
+                rs = k_scaled
+                rd_on_susp = -1
+                rd_on_legit = 1
+            for i in range(op[u], op[u + 1]):
+                v = oi[i]
+                if not active[v]:
+                    continue
+                if sides[v]:
+                    rd += rd_on_susp
+                    d = rs
+                else:
+                    d = -rs
+                bv = bucket_of[v]
+                if bv >= 0:
+                    nbv = bv + d
+                    nx2 = nxt[v]
+                    pv2 = prv[v]
+                    if pv2 >= 0:
+                        nxt[pv2] = nx2
+                    else:
+                        heads[bv] = nx2
+                    if nx2 >= 0:
+                        prv[nx2] = pv2
+                    h = heads[nbv]
+                    nxt[v] = h
+                    prv[v] = absent
+                    if h >= 0:
+                        prv[h] = v
+                    heads[nbv] = v
+                    bucket_of[v] = nbv
+                    if nbv > max_b:
+                        max_b = nbv
+            for i in range(ip_[u], ip_[u + 1]):
+                v = ii[i]
+                if not active[v]:
+                    continue
+                if sides[v]:
+                    d = rs
+                else:
+                    rd += rd_on_legit
+                    d = -rs
+                bv = bucket_of[v]
+                if bv >= 0:
+                    nbv = bv + d
+                    nx2 = nxt[v]
+                    pv2 = prv[v]
+                    if pv2 >= 0:
+                        nxt[pv2] = nx2
+                    else:
+                        heads[bv] = nx2
+                    if nx2 >= 0:
+                        prv[nx2] = pv2
+                    h = heads[nbv]
+                    nxt[v] = h
+                    prv[v] = absent
+                    if h >= 0:
+                        prv[h] = v
+                    heads[nbv] = v
+                    bucket_of[v] = nbv
+                    if nbv > max_b:
+                        max_b = nbv
+
+            f_cross += fd
+            r_cross += rd
+            sides[u] = 1 - s
+            sequence.append((u, fd, rd))
+            cumulative += b - offset
+            if stats is not None:
+                stats.switches_tested += 1
+            if cumulative > best_cumulative:
+                best_cumulative = cumulative
+                best_length = len(sequence)
+                stall = 0
+            else:
+                stall += 1
+
+        # Roll back every switch beyond the best prefix (exact integer
+        # reversal of the recorded deltas).
+        for u, fd, rd in reversed(sequence[best_length:]):
+            f_cross -= fd
+            r_cross -= rd
+            sides[u] = 1 - sides[u]
+        if stats is not None:
+            stats.switches_applied += best_length
+        if best_length == 0:
+            break
+
+    state.f_cross = f_cross
+    state.r_cross = r_cross
+    ones = 0
+    for u in range(n):
+        if active[u] and sides[u]:
+            ones += 1
+    state.side_sizes = [view.num_active - ones, ones]
+
+
+def _run_heap_passes(
+    state: PartitionState, k: float, config: KLConfig, stats: Optional[KLStats]
+) -> None:
+    """The generic engine: lazy-deletion heap gains over the CSR state.
+
+    Handles arbitrary float ``k`` (Dinkelbach refinement) and weighted
+    coarse graphs; same greedy discipline as the bucket engine.
+    """
+    view = state.view
+    active = view.active
+    sides = state.sides
+    locked = state.locked
+    n = view.csr.num_nodes
+    stall_limit = config.stall_limit
+
+    for _ in range(config.max_passes):
+        if stats is not None:
+            stats.passes += 1
+            stats.objective_history.append(state.objective(k))
+
+        index = HeapGainIndex()
+        for u in range(n):
+            if active[u] and not locked[u]:
+                index.insert(u, state.switch_gain(u, k))
+
+        sequence: List[int] = []
+        cumulative = 0.0
+        best_cumulative = 0.0
+        best_length = 0
+        stall = 0
+        while True:
+            if stall_limit is not None and stall >= stall_limit:
+                break
+            popped = index.pop_max()
+            if popped is None:
+                break
+            u, gain = popped
+            prev_side = sides[u]
+            state.switch(u)
+            sequence.append(u)
+            cumulative += gain
+            if stats is not None:
+                stats.switches_tested += 1
+            if cumulative > best_cumulative + _EPS:
+                best_cumulative = cumulative
+                best_length = len(sequence)
+                stall = 0
+            else:
+                stall += 1
+            adjust_neighbor_gains(index, state, u, prev_side, k)
+
+        for u in reversed(sequence[best_length:]):
+            state.switch(u)
+        if stats is not None:
+            stats.switches_applied += best_length
+        if best_length == 0:
+            break
+
+
+def extended_kl_state(
+    state: PartitionState,
+    k: float,
+    config: Optional[KLConfig] = None,
+    stats: Optional[KLStats] = None,
+) -> PartitionState:
+    """Minimize the linearized objective over a CSR partition state.
+
+    The input state is copied, not mutated (it shares the residual view
+    and lock vector). This is the engine entry point shared by
+    :func:`extended_kl`, the MAAR sweep, Rejecto's residual rounds, and
+    the weighted multilevel refinement.
+    """
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")
+    config = config or KLConfig()
+    out = state.copy()
+    kind = config.gain_index
+    weighted = out.view.csr.weighted
+    if kind == "auto":
+        kind = (
+            "bucket" if not weighted and _on_grid(k, config.resolution) else "heap"
+        )
+    if kind == "bucket":
+        if weighted:
+            raise ValueError(
+                "the bucket gain index requires an unweighted graph; "
+                "pass gain_index='heap' or 'auto'"
+            )
+        if not _on_grid(k, config.resolution):
+            raise ValueError(
+                f"k={k} is off the 1/{config.resolution} bucket grid; "
+                "pass gain_index='heap' or 'auto'"
+            )
+        _run_bucket_passes(out, k, config, stats)
+    elif kind == "heap":
+        _run_heap_passes(out, k, config, stats)
+    else:
+        raise ValueError(f"unknown gain index kind {kind!r}")
+    return out
+
+
+# ----------------------------------------------------------------------
+# Legacy engine (list-of-lists adjacency + gain index objects)
+# ----------------------------------------------------------------------
 def _initial_gains(partition: Partition, k: float, locked: Sequence[bool]):
     """Per-node switch gains for all unlocked nodes."""
     return [
@@ -101,46 +536,16 @@ def _max_abs_gain(graph: AugmentedSocialGraph, k: float) -> float:
     return bound
 
 
-def extended_kl(
+def _extended_kl_legacy(
     graph: AugmentedSocialGraph,
     k: float,
     initial: Partition,
-    locked: Optional[Sequence[bool]] = None,
-    config: Optional[KLConfig] = None,
-    stats: Optional[KLStats] = None,
+    locked: Sequence[bool],
+    config: KLConfig,
+    stats: Optional[KLStats],
 ) -> Partition:
-    """Minimize ``|F(Ū,U)| − k·|R⃗⟨Ū,U⟩|`` from the given initial partition.
-
-    Parameters
-    ----------
-    graph:
-        The rejection-augmented social graph.
-    k:
-        The rejection weight of the linearized objective (positive).
-    initial:
-        Starting partition; it is copied, not mutated.
-    locked:
-        Optional per-node flags; locked nodes (seeds) never switch.
-    config:
-        Search configuration; defaults to :class:`KLConfig`.
-    stats:
-        Optional diagnostics accumulator.
-
-    Returns
-    -------
-    Partition
-        The improved partition.
-    """
-    if k <= 0:
-        raise ValueError(f"k must be positive, got {k}")
-    config = config or KLConfig()
-    n = graph.num_nodes
-    if locked is None:
-        locked = [False] * n
-    elif len(locked) != n:
-        raise ValueError(f"locked has length {len(locked)}, expected {n}")
-
     partition = initial.copy()
+    n = graph.num_nodes
     max_abs = _max_abs_gain(graph, k)
     sides = partition.sides
 
@@ -204,3 +609,57 @@ def extended_kl(
             break
 
     return partition
+
+
+def extended_kl(
+    graph: AugmentedSocialGraph,
+    k: float,
+    initial: Partition,
+    locked: Optional[Sequence[bool]] = None,
+    config: Optional[KLConfig] = None,
+    stats: Optional[KLStats] = None,
+) -> Partition:
+    """Minimize ``|F(Ū,U)| − k·|R⃗⟨Ū,U⟩|`` from the given initial partition.
+
+    Parameters
+    ----------
+    graph:
+        The rejection-augmented social graph.
+    k:
+        The rejection weight of the linearized objective (positive).
+    initial:
+        Starting partition; it is copied, not mutated.
+    locked:
+        Optional per-node flags; locked nodes (seeds) never switch.
+    config:
+        Search configuration; defaults to :class:`KLConfig`. The
+        ``engine`` field selects the CSR core (default) or the legacy
+        list-of-lists loop.
+    stats:
+        Optional diagnostics accumulator.
+
+    Returns
+    -------
+    Partition
+        The improved partition.
+    """
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")
+    config = config or KLConfig()
+    n = graph.num_nodes
+    if locked is None:
+        locked = [False] * n
+    elif len(locked) != n:
+        raise ValueError(f"locked has length {len(locked)}, expected {n}")
+    if config.engine == "legacy":
+        if not isinstance(graph, AugmentedSocialGraph):
+            raise ValueError(
+                "engine='legacy' needs the mutable AugmentedSocialGraph "
+                f"builder, got {type(graph).__name__}"
+            )
+        return _extended_kl_legacy(graph, k, initial, locked, config, stats)
+    if config.engine != "csr":
+        raise ValueError(f"unknown engine {config.engine!r}")
+    state = PartitionState(graph.csr().view(), initial.sides, locked)
+    out = extended_kl_state(state, k, config, stats)
+    return Partition.from_counts(graph, out.sides, out.f_cross, out.r_cross)

@@ -19,8 +19,9 @@ from typing import List, Optional, Sequence, Tuple
 
 import random
 
+from .csr import CSRView, PartitionState
 from .graph import AugmentedSocialGraph
-from .kl import KLConfig, KLStats, extended_kl
+from .kl import KLConfig, KLStats, extended_kl, extended_kl_state
 from .objectives import LEGITIMATE, SUSPICIOUS
 from .partition import Partition
 
@@ -199,20 +200,199 @@ def _is_valid_candidate(partition: Partition, config: MAARConfig) -> bool:
     )
 
 
+def _view_initial_sides(
+    view: CSRView,
+    config: MAARConfig,
+    legit_seeds: Sequence[int] = (),
+    spammer_seeds: Sequence[int] = (),
+) -> List[int]:
+    """Initial side assignment for a (possibly residual) CSR view.
+
+    Mirrors :func:`initial_partition` with active-node filtering: the
+    ``"rejection"`` strategy counts only rejections cast by still-active
+    users, exactly as the legacy path sees them after a
+    ``graph.subgraph()`` prune. Sides of inactive nodes are irrelevant
+    to the counters and left at 0.
+    """
+    n = view.csr.num_nodes
+    active = view.active
+    sides = [LEGITIMATE] * n
+    if config.init == "rejection":
+        for u in range(n):
+            if active[u] and view.rejections_received(u) > 0:
+                sides[u] = SUSPICIOUS
+    elif config.init == "all_legitimate":
+        pass
+    elif config.init == "random":
+        rng = random.Random(config.random_seed)
+        for u in range(n):
+            if active[u] and rng.random() < config.random_fraction:
+                sides[u] = SUSPICIOUS
+    else:
+        raise ValueError(f"unknown init strategy {config.init!r}")
+    for u in legit_seeds:
+        sides[u] = LEGITIMATE
+    for u in spammer_seeds:
+        sides[u] = SUSPICIOUS
+    return sides
+
+
+def _is_valid_state(state: PartitionState, config: MAARConfig) -> bool:
+    """:func:`_is_valid_candidate` over a CSR partition state, with the
+    *active* node count as the population (the residual graph's size)."""
+    num_active = state.view.num_active
+    limit = config.max_suspicious_fraction * num_active
+    size = state.suspicious_size
+    return (
+        config.min_suspicious <= size <= limit
+        and size < num_active
+        and state.r_cross > 0
+        and state.r_cross >= config.min_evidence * size
+    )
+
+
+def _solve_maar_view(
+    view: CSRView,
+    config: MAARConfig,
+    legit_seeds: Sequence[int] = (),
+    spammer_seeds: Sequence[int] = (),
+) -> MAARResult:
+    """The MAAR sweep over a CSR residual view.
+
+    Same grid, validity rules, tie-breaks and refinement as the legacy
+    sweep, but every KL run operates on :class:`PartitionState` — no
+    subgraph materialization. The returned result's ``partition`` is the
+    winning :class:`PartitionState` (duck-compatible with
+    :class:`Partition` for the queries the callers use).
+    """
+    n = view.csr.num_nodes
+    locked = [False] * n
+    for u in legit_seeds:
+        locked[u] = True
+    for u in spammer_seeds:
+        locked[u] = True
+
+    init = PartitionState(
+        view, _view_initial_sides(view, config, legit_seeds, spammer_seeds), locked
+    )
+    stats = KLStats()
+    best: Optional[PartitionState] = None
+    best_k: Optional[float] = None
+    best_key: Tuple[float, float] = (float("inf"), 0)
+    per_k: List[KCandidate] = []
+    previous = init
+
+    for k in config.k_values():
+        start = previous if config.warm_start else init
+        candidate = extended_kl_state(start, k, config=config.kl, stats=stats)
+        previous = candidate
+        valid = _is_valid_state(candidate, config)
+        acceptance = candidate.acceptance_rate()
+        per_k.append(
+            KCandidate(
+                k=k,
+                acceptance_rate=acceptance,
+                ratio=candidate.ratio(),
+                f_cross=candidate.f_cross,
+                r_cross=candidate.r_cross,
+                suspicious_size=candidate.suspicious_size,
+                valid=valid,
+            )
+        )
+        logger.debug(
+            "k=%.4g: acceptance=%.3f F=%d R=%d size=%d valid=%s",
+            k,
+            acceptance,
+            candidate.f_cross,
+            candidate.r_cross,
+            candidate.suspicious_size,
+            valid,
+        )
+        if valid:
+            key = (acceptance, -candidate.r_cross)
+            if key < best_key:
+                best_key = key
+                best = candidate
+                best_k = k
+
+    for _ in range(config.refine_rounds if best is not None else 0):
+        ratio = best.ratio()
+        if not 0 < ratio < float("inf"):
+            break
+        candidate = extended_kl_state(best, ratio, config=config.kl, stats=stats)
+        valid = _is_valid_state(candidate, config)
+        acceptance = candidate.acceptance_rate()
+        per_k.append(
+            KCandidate(
+                k=ratio,
+                acceptance_rate=acceptance,
+                ratio=candidate.ratio(),
+                f_cross=candidate.f_cross,
+                r_cross=candidate.r_cross,
+                suspicious_size=candidate.suspicious_size,
+                valid=valid,
+            )
+        )
+        key = (acceptance, -candidate.r_cross)
+        if not valid or key >= best_key:
+            break
+        best_key = key
+        best = candidate
+        best_k = ratio
+
+    acceptance = best_key[0] if best is not None else 1.0
+    return MAARResult(
+        partition=best,
+        k=best_k,
+        acceptance_rate=acceptance,
+        per_k=per_k,
+        stats=stats,
+    )
+
+
 def solve_maar(
-    graph: AugmentedSocialGraph,
+    graph,
     config: Optional[MAARConfig] = None,
     legit_seeds: Sequence[int] = (),
     spammer_seeds: Sequence[int] = (),
 ) -> MAARResult:
     """Approximate the MAAR cut of ``graph``.
 
-    Runs :func:`repro.core.kl.extended_kl` once per ``k`` on the
-    geometric grid and returns the valid cut with the lowest aggregate
-    acceptance rate. Ties prefer the cut explaining more rejections
-    (larger ``r_cross``), which captures more of the spammer region.
+    Runs the extended KL search once per ``k`` on the geometric grid and
+    returns the valid cut with the lowest aggregate acceptance rate.
+    Ties prefer the cut explaining more rejections (larger ``r_cross``),
+    which captures more of the spammer region.
+
+    ``graph`` may be an :class:`AugmentedSocialGraph` builder or an
+    already-finalized :class:`repro.core.csr.CSRGraph`. With the default
+    ``config.kl.engine == "csr"`` the sweep runs on the flat-array core;
+    ``engine == "legacy"`` (builder inputs only) runs the original
+    list-of-lists path. For builder inputs the result's ``partition`` is
+    a :class:`Partition`; for CSR inputs it is the winning
+    :class:`PartitionState`.
     """
     config = config or MAARConfig()
+    is_builder = isinstance(graph, AugmentedSocialGraph)
+    if is_builder and config.kl.engine == "legacy":
+        return _solve_maar_legacy(graph, config, legit_seeds, spammer_seeds)
+    result = _solve_maar_view(
+        graph.csr().view(), config, legit_seeds, spammer_seeds
+    )
+    if is_builder and result.partition is not None:
+        state = result.partition
+        result.partition = Partition.from_counts(
+            graph, state.sides, state.f_cross, state.r_cross
+        )
+    return result
+
+
+def _solve_maar_legacy(
+    graph: AugmentedSocialGraph,
+    config: MAARConfig,
+    legit_seeds: Sequence[int] = (),
+    spammer_seeds: Sequence[int] = (),
+) -> MAARResult:
+    """The original sweep over the builder's list-of-lists adjacency."""
     locked = [False] * graph.num_nodes
     for u in legit_seeds:
         locked[u] = True

@@ -21,6 +21,11 @@ never worse than the coarse solution it started from. The win is speed
 on large graphs — the expensive full-graph sweep happens only at the
 coarsest level — at a small quality cost versus the flat solver
 (measured in ``bench_ablation_multilevel.py``).
+
+Both refinement layers run on the flat-array CSR core: the fine-level
+:func:`repro.core.kl.extended_kl` finalizes the builder once (cached) and
+the coarse :func:`repro.core.weighted.weighted_extended_kl` finalizes each
+weighted level; only the coarsening itself walks the dict adjacency.
 """
 
 from __future__ import annotations

@@ -66,6 +66,30 @@ class Partition:
             sides[u] = SUSPICIOUS
         return cls(graph, sides)
 
+    @classmethod
+    def from_counts(
+        cls,
+        graph: AugmentedSocialGraph,
+        sides: Sequence[int],
+        f_cross: int,
+        r_cross: int,
+    ) -> "Partition":
+        """Adopt already-verified counters without the O(E) recount.
+
+        Used by the CSR engine to hand its final
+        :class:`repro.core.csr.PartitionState` back as a ``Partition``;
+        the counters come from the engine's incrementally maintained (and
+        property-tested) state.
+        """
+        partition = cls.__new__(cls)
+        partition.graph = graph
+        partition.sides = list(sides)
+        partition.f_cross = f_cross
+        partition.r_cross = r_cross
+        ones = sum(partition.sides)
+        partition.side_sizes = [graph.num_nodes - ones, ones]
+        return partition
+
     # ------------------------------------------------------------------
     # Mutation
     # ------------------------------------------------------------------

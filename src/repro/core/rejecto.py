@@ -23,7 +23,7 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Set
 
 from .graph import AugmentedSocialGraph
-from .maar import MAARConfig, solve_maar
+from .maar import MAARConfig, _solve_maar_view, solve_maar
 
 __all__ = ["RejectoConfig", "DetectedGroup", "RejectoResult", "Rejecto"]
 
@@ -126,16 +126,125 @@ class Rejecto:
 
     def detect(
         self,
-        graph: AugmentedSocialGraph,
+        graph,
         legit_seeds: Sequence[int] = (),
         spammer_seeds: Sequence[int] = (),
     ) -> RejectoResult:
         """Iteratively uncover friend-spammer groups in ``graph``.
 
-        Seeds are ids in ``graph``; legitimate seeds are pinned to the
-        legitimate region in every round, spammer seeds to the suspicious
-        region until the round that detects them.
+        ``graph`` may be an :class:`AugmentedSocialGraph` builder or a
+        finalized :class:`repro.core.csr.CSRGraph`. Seeds are ids in
+        ``graph``; legitimate seeds are pinned to the legitimate region
+        in every round, spammer seeds to the suspicious region until the
+        round that detects them.
+
+        With the default ``config.maar.kl.engine == "csr"`` each round
+        solves over a zero-copy residual *view* of one shared CSR
+        snapshot — pruning a detected group costs O(V) mask bytes, not an
+        O(V+E) ``subgraph()`` deep copy. ``engine == "legacy"`` keeps the
+        original per-round subgraph materialization (builder inputs
+        only); both report identical groups on sorted-adjacency inputs.
         """
+        if self.config.maar.kl.engine == "legacy" and isinstance(
+            graph, AugmentedSocialGraph
+        ):
+            return self._detect_legacy(graph, legit_seeds, spammer_seeds)
+        return self._detect_csr(graph, legit_seeds, spammer_seeds)
+
+    def _detect_csr(
+        self,
+        graph,
+        legit_seeds: Sequence[int] = (),
+        spammer_seeds: Sequence[int] = (),
+    ) -> RejectoResult:
+        """Residual-view detection rounds over one shared CSR snapshot."""
+        config = self.config
+        view = graph.csr().view()
+        legit_seed_set = set(legit_seeds)
+        spammer_seed_set = set(spammer_seeds)
+        groups: List[DetectedGroup] = []
+        detected_total = 0
+        termination = "max_rounds"
+
+        for round_index in range(config.max_rounds):
+            if view.num_active == 0:
+                termination = "exhausted"
+                break
+            active = view.active
+            result = _solve_maar_view(
+                view,
+                config.maar,
+                legit_seeds=[u for u in sorted(legit_seed_set) if active[u]],
+                spammer_seeds=[u for u in sorted(spammer_seed_set) if active[u]],
+            )
+            if not result.found:
+                termination = "no_cut"
+                logger.debug("round %d: no valid MAAR cut, stopping", round_index)
+                break
+            state = result.partition
+            assert state is not None
+            if (
+                config.acceptance_threshold is not None
+                and result.acceptance_rate > config.acceptance_threshold
+            ):
+                termination = "acceptance_threshold"
+                logger.debug(
+                    "round %d: acceptance rate %.3f above threshold %.3f, stopping",
+                    round_index,
+                    result.acceptance_rate,
+                    config.acceptance_threshold,
+                )
+                break
+
+            # Order members by in-rejection evidence within the residual
+            # view (active rejecters only) so that detected(limit) trims
+            # the weakest evidence last — same ordering as the legacy
+            # path's per-residual ``rej_in`` lengths.
+            members = state.suspicious_nodes()
+            members.sort(key=view.rejections_received, reverse=True)
+            groups.append(
+                DetectedGroup(
+                    members=members,
+                    acceptance_rate=result.acceptance_rate,
+                    ratio=state.ratio(),
+                    f_cross=state.f_cross,
+                    r_cross=state.r_cross,
+                    k=result.k if result.k is not None else float("nan"),
+                    round_index=round_index,
+                )
+            )
+            detected_total += len(members)
+            logger.info(
+                "round %d: cut %d accounts at acceptance rate %.3f "
+                "(k=%s, %d detected so far)",
+                round_index,
+                len(members),
+                result.acceptance_rate,
+                result.k,
+                detected_total,
+            )
+            view = view.without(members)
+
+            if (
+                config.estimated_spammers is not None
+                and detected_total >= config.estimated_spammers
+            ):
+                termination = "estimated_spammers"
+                break
+
+        return RejectoResult(
+            groups=groups,
+            rounds_run=len(groups),
+            termination=termination,
+        )
+
+    def _detect_legacy(
+        self,
+        graph: AugmentedSocialGraph,
+        legit_seeds: Sequence[int] = (),
+        spammer_seeds: Sequence[int] = (),
+    ) -> RejectoResult:
+        """The original rounds: one ``graph.subgraph()`` deep copy each."""
         config = self.config
         legit_seed_set = set(legit_seeds)
         spammer_seed_set = set(spammer_seeds)

@@ -10,8 +10,9 @@ paper's signal for a *compromise* at time ``t``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Set
+from typing import Dict, List, Optional, Sequence, Set, Union
 
+from .csr import CSRGraph
 from .graph import AugmentedSocialGraph
 from .rejecto import Rejecto, RejectoConfig, RejectoResult
 
@@ -50,7 +51,7 @@ class ShardedDetectionResult:
 
 
 def detect_over_shards(
-    shards: Sequence[AugmentedSocialGraph],
+    shards: Sequence[Union[AugmentedSocialGraph, CSRGraph]],
     config: Optional[RejectoConfig] = None,
     legit_seeds: Sequence[int] = (),
     spammer_seeds: Sequence[int] = (),
@@ -59,6 +60,9 @@ def detect_over_shards(
 
     All shards must share the same node-id space (they describe the same
     user population at different times). Seeds apply to every interval.
+    Shards may be builders or finalized :class:`CSRGraph` snapshots —
+    loaders can hand CSR shards straight in without materializing
+    builders.
     """
     if not shards:
         raise ValueError("need at least one shard")

@@ -23,8 +23,10 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
+from .csr import PartitionState
 from .gains import HeapGainIndex
 from .graph import AugmentedSocialGraph
+from .kl import KLConfig, extended_kl_state
 from .objectives import LEGITIMATE, SUSPICIOUS
 
 __all__ = [
@@ -39,7 +41,14 @@ _EPS = 1e-9
 class WeightedAugmentedGraph:
     """Weighted friendships (symmetric) and rejections (directed)."""
 
-    __slots__ = ("num_nodes", "friends", "rej_out", "rej_in", "node_weight")
+    __slots__ = (
+        "num_nodes",
+        "friends",
+        "rej_out",
+        "rej_in",
+        "node_weight",
+        "_csr_cache",
+    )
 
     def __init__(self, num_nodes: int) -> None:
         if num_nodes < 0:
@@ -50,6 +59,7 @@ class WeightedAugmentedGraph:
         self.rej_in: List[Dict[int, float]] = [dict() for _ in range(num_nodes)]
         #: how many original nodes each node represents (coarsening)
         self.node_weight: List[int] = [1] * num_nodes
+        self._csr_cache = None
 
     @classmethod
     def from_graph(cls, graph: AugmentedSocialGraph) -> "WeightedAugmentedGraph":
@@ -69,6 +79,7 @@ class WeightedAugmentedGraph:
             raise ValueError(f"weight must be positive, got {weight}")
         self.friends[u][v] = self.friends[u].get(v, 0.0) + weight
         self.friends[v][u] = self.friends[v].get(u, 0.0) + weight
+        self._csr_cache = None
 
     def add_rejection(self, rejecter: int, sender: int, weight: float) -> None:
         """Accumulate rejection weight on the edge ``⟨rejecter, sender⟩``."""
@@ -82,6 +93,22 @@ class WeightedAugmentedGraph:
         self.rej_in[sender][rejecter] = (
             self.rej_in[sender].get(rejecter, 0.0) + weight
         )
+        self._csr_cache = None
+
+    def csr(self, backend: str = "auto"):
+        """Finalize into a weighted :class:`repro.core.csr.CSRGraph`.
+
+        Cached until the next ``add_friendship``/``add_rejection``, same
+        lifecycle as the unweighted builder's ``csr()``.
+        """
+        from .csr import CSRGraph, resolve_backend
+
+        backend = resolve_backend(backend)
+        cache = self._csr_cache
+        if cache is None or cache.backend != backend:
+            cache = CSRGraph.from_weighted(self, backend=backend)
+            self._csr_cache = cache
+        return cache
 
     def total_friendship_weight(self) -> float:
         return sum(sum(adj.values()) for adj in self.friends) / 2.0
@@ -177,13 +204,29 @@ def weighted_extended_kl(
     initial_sides: Sequence[int],
     locked: Optional[Sequence[bool]] = None,
     max_passes: int = 30,
+    engine: str = "csr",
 ) -> WeightedPartition:
-    """The extended KL pass loop over weighted edges (heap gains)."""
+    """The extended KL pass loop over weighted edges (heap gains).
+
+    With ``engine="csr"`` (default) the search runs on the weighted CSR
+    finalization via :func:`repro.core.kl.extended_kl_state`;
+    ``engine="legacy"`` keeps the original dict-adjacency loop. Both
+    follow the same greedy discipline — results may differ only in
+    float-summation order on ties.
+    """
     if k <= 0:
         raise ValueError(f"k must be positive, got {k}")
     n = graph.num_nodes
     if locked is None:
         locked = [False] * n
+    if engine == "csr":
+        state = PartitionState(graph.csr().view(), initial_sides, locked)
+        config = KLConfig(gain_index="heap", max_passes=max_passes)
+        out = extended_kl_state(state, k, config=config)
+        result = WeightedPartition(graph, out.sides)
+        return result
+    if engine != "legacy":
+        raise ValueError(f"unknown engine {engine!r}")
     partition = WeightedPartition(graph, initial_sides)
     sides = partition.sides
 

@@ -13,6 +13,7 @@ from __future__ import annotations
 from pathlib import Path
 from typing import Dict, Union
 
+from ..core.csr import CSRGraph
 from ..core.graph import AugmentedSocialGraph
 
 __all__ = ["load_snap_edgelist", "save_snap_edgelist", "LoaderError"]
@@ -23,8 +24,8 @@ class LoaderError(ValueError):
 
 
 def load_snap_edgelist(
-    path: Union[str, Path], remap: bool = True
-) -> AugmentedSocialGraph:
+    path: Union[str, Path], remap: bool = True, as_csr: bool = False
+) -> Union[AugmentedSocialGraph, CSRGraph]:
     """Load a SNAP edge list as an undirected friendship graph.
 
     With ``remap=True`` (default), node ids are remapped to the dense
@@ -32,7 +33,10 @@ def load_snap_edgelist(
     sparse ids. With ``remap=False`` ids are kept verbatim (they must be
     non-negative; the graph gets ``max_id + 1`` nodes). In both modes
     duplicate and reverse-duplicate edges collapse and self-loops are
-    dropped (several SNAP datasets contain them).
+    dropped (several SNAP datasets contain them). With ``as_csr=True``
+    the edges are packed straight into an immutable
+    :class:`~repro.core.csr.CSRGraph` — the right choice when the graph
+    goes directly into the detector and will not be mutated.
     """
     path = Path(path)
     id_map: Dict[int, int] = {}
@@ -66,13 +70,17 @@ def load_snap_edgelist(
         num_nodes = len(id_map)
     else:
         num_nodes = 1 + max((max(u, v) for u, v in edges), default=-1)
+    if as_csr:
+        return CSRGraph.from_edges(num_nodes, friendships=edges)
     graph = AugmentedSocialGraph(num_nodes)
     for u, v in edges:
         graph.add_friendship(u, v)
     return graph
 
 
-def save_snap_edgelist(graph: AugmentedSocialGraph, path: Union[str, Path]) -> None:
+def save_snap_edgelist(
+    graph: Union[AugmentedSocialGraph, CSRGraph], path: Union[str, Path]
+) -> None:
     """Write the friendship edges of ``graph`` in SNAP format."""
     path = Path(path)
     with path.open("w") as handle:

@@ -18,6 +18,7 @@ from pathlib import Path
 from typing import Union
 
 from .attacks.requests import RequestLog
+from .core.csr import CSRGraph
 from .core.graph import AugmentedSocialGraph
 from .core.rejecto import RejectoResult
 
@@ -41,8 +42,15 @@ class FormatError(ValueError):
 # ----------------------------------------------------------------------
 # Augmented graph
 # ----------------------------------------------------------------------
-def save_augmented_graph(graph: AugmentedSocialGraph, path: _PathLike) -> None:
-    """Write a graph in the ``F``/``R`` edge-line format."""
+def save_augmented_graph(
+    graph: Union[AugmentedSocialGraph, CSRGraph], path: _PathLike
+) -> None:
+    """Write a graph in the ``F``/``R`` edge-line format.
+
+    Accepts a builder or a finalized :class:`CSRGraph`; both expose the
+    same ``friendships()``/``rejections()`` iteration surface and the
+    output is identical (edges are written sorted).
+    """
     path = Path(path)
     with path.open("w") as handle:
         handle.write("# rejecto augmented graph v1\n")
@@ -53,11 +61,15 @@ def save_augmented_graph(graph: AugmentedSocialGraph, path: _PathLike) -> None:
             handle.write(f"R {rejecter} {sender}\n")
 
 
-def load_augmented_graph(path: _PathLike) -> AugmentedSocialGraph:
+def load_augmented_graph(
+    path: _PathLike, as_csr: bool = False
+) -> Union[AugmentedSocialGraph, CSRGraph]:
     """Read a graph written by :func:`save_augmented_graph`.
 
     The ``# nodes:`` header is optional; without it the node count is
-    inferred as ``max id + 1``.
+    inferred as ``max id + 1``. With ``as_csr=True`` the edges are packed
+    straight into an immutable :class:`CSRGraph` (the form the detector
+    runs on) without materializing the mutable builder.
     """
     path = Path(path)
     declared_nodes = None
@@ -100,6 +112,8 @@ def load_augmented_graph(path: _PathLike) -> AugmentedSocialGraph:
         raise FormatError(
             f"{path}: nodes header says {num_nodes} but ids reach {max_id}"
         )
+    if as_csr:
+        return CSRGraph.from_edges(num_nodes, friendships, rejections)
     return AugmentedSocialGraph.from_edges(num_nodes, friendships, rejections)
 
 

@@ -1,0 +1,252 @@
+"""Tests for the flat-array CSR core: CSRGraph, CSRView, PartitionState."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    AugmentedSocialGraph,
+    CSRGraph,
+    Partition,
+    PartitionState,
+    cut_counts,
+    resolve_backend,
+)
+from repro.core.weighted import WeightedAugmentedGraph, WeightedPartition
+
+from ..conftest import graphs_with_sides, random_augmented_graph
+
+
+def small_graph():
+    return AugmentedSocialGraph.from_edges(
+        6,
+        friendships=[(3, 1), (0, 1), (4, 0), (2, 5)],
+        rejections=[(5, 2), (0, 3), (0, 2), (4, 2)],
+    )
+
+
+class TestResolveBackend:
+    def test_auto_prefers_numpy_when_available(self):
+        pytest.importorskip("numpy")
+        assert resolve_backend("auto") == "numpy"
+
+    def test_explicit_names_pass_through(self):
+        assert resolve_backend("python") == "python"
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            resolve_backend("fortran")
+
+
+class TestCSRGraph:
+    def test_adjacency_is_sorted_regardless_of_insertion_order(self):
+        csr = small_graph().csr()
+        fp, fi, op, oi, ip_, ii = csr.hot()
+        for ptr, idx in ((fp, fi), (op, oi), (ip_, ii)):
+            for u in range(csr.num_nodes):
+                row = idx[ptr[u] : ptr[u + 1]]
+                assert row == sorted(row)
+
+    def test_counts_match_builder(self):
+        graph = small_graph()
+        csr = graph.csr()
+        assert csr.num_nodes == graph.num_nodes
+        assert csr.num_friendships == graph.num_friendships
+        assert csr.num_rejections == graph.num_rejections
+        for u in range(graph.num_nodes):
+            assert csr.degree(u) == graph.degree(u)
+            assert csr.rejections_cast(u) == graph.rejections_cast(u)
+            assert csr.rejections_received(u) == graph.rejections_received(u)
+
+    def test_edge_iteration_is_sorted_and_complete(self):
+        graph = small_graph()
+        csr = graph.csr()
+        assert list(csr.friendships()) == sorted(graph.friendships())
+        assert list(csr.rejections()) == sorted(graph.rejections())
+
+    def test_from_edges_dedupes_and_drops_self_loops(self):
+        csr = CSRGraph.from_edges(
+            4,
+            friendships=[(0, 1), (1, 0), (0, 1), (2, 2)],
+            rejections=[(3, 0), (3, 0), (1, 1)],
+        )
+        assert csr.num_friendships == 1
+        assert csr.num_rejections == 1
+        assert csr.has_friendship(1, 0)
+        assert csr.has_rejection(3, 0)
+        assert not csr.has_rejection(0, 3)
+
+    def test_backends_share_identical_storage(self):
+        graph = small_graph()
+        py = CSRGraph.from_builder(graph, backend="python")
+        np_ = CSRGraph.from_builder(graph, backend="numpy")
+        assert py.hot() == np_.hot()
+
+    def test_numpy_views_are_zero_copy(self):
+        np = pytest.importorskip("numpy")
+        csr = small_graph().csr(backend="numpy")
+        arrays = csr.numpy_arrays()
+        assert arrays["f_idx"].dtype == np.int64
+        assert list(arrays["f_idx"]) == list(csr.f_idx)
+        # A view over the same buffer, not a copy.
+        assert arrays["f_idx"].base is not None
+
+    def test_csr_of_csr_is_identity(self):
+        csr = small_graph().csr()
+        assert csr.csr() is csr
+
+    def test_builder_caches_and_invalidates(self):
+        graph = small_graph()
+        first = graph.csr()
+        assert graph.csr() is first
+        graph.add_friendship(3, 4)
+        second = graph.csr()
+        assert second is not first
+        assert second.has_friendship(3, 4)
+        graph.add_rejection(1, 5)
+        assert graph.csr() is not second
+        n = graph.num_nodes
+        graph.add_node()
+        assert graph.csr().num_nodes == n + 1
+
+    def test_empty_graph(self):
+        csr = AugmentedSocialGraph(0).csr()
+        assert len(csr) == 0
+        assert list(csr.friendships()) == []
+        assert csr.view().num_active == 0
+
+
+class TestCSRView:
+    def test_without_is_zero_copy_and_idempotent(self):
+        csr = small_graph().csr()
+        view = csr.view()
+        residual = view.without([1, 1, 5])
+        assert residual.csr is csr  # shares the arrays
+        assert residual.num_active == csr.num_nodes - 2
+        assert view.num_active == csr.num_nodes  # original untouched
+        again = residual.without([1])
+        assert again.num_active == residual.num_active
+
+    def test_active_filtered_counts_match_subgraph(self):
+        graph = random_augmented_graph(30, 60, 40, seed=3)
+        keep = [u for u in range(30) if u % 3 != 0]
+        sub, old_ids = graph.subgraph(keep)
+        view = graph.csr().view().without(
+            [u for u in range(30) if u % 3 == 0]
+        )
+        assert view.active_nodes() == old_ids
+        for new, old in enumerate(old_ids):
+            assert view.degree(old) == sub.degree(new)
+            assert view.rejections_received(old) == sub.rejections_received(new)
+
+
+class TestPartitionState:
+    def test_sides_and_locked_validation(self):
+        view = small_graph().csr().view()
+        with pytest.raises(ValueError, match="sides has length"):
+            PartitionState(view, [0, 1])
+        with pytest.raises(ValueError, match="sides must be 0 or 1"):
+            PartitionState(view, [0, 1, 2, 0, 0, 0])
+        with pytest.raises(ValueError, match="locked has length"):
+            PartitionState(view, [0] * 6, locked=[True])
+
+    def test_copy_shares_view_and_locks_but_not_sides(self):
+        state = PartitionState(small_graph().csr().view(), [0, 1, 0, 1, 0, 1])
+        clone = state.copy()
+        clone.switch(0)
+        assert state.sides[0] == 0
+        assert clone.view is state.view
+        assert clone.locked is state.locked
+
+    @given(graphs_with_sides())
+    @settings(max_examples=60, deadline=None)
+    def test_counters_match_partition_on_full_view(self, graph_and_sides):
+        graph, sides = graph_and_sides
+        reference = Partition(graph, sides)
+        state = PartitionState(graph.csr().view(), sides)
+        assert (state.f_cross, state.r_cross) == (
+            reference.f_cross,
+            reference.r_cross,
+        )
+        assert state.suspicious_nodes() == reference.suspicious_nodes()
+        assert state.suspicious_size == reference.suspicious_size
+
+    @given(
+        graphs_with_sides(),
+        st.lists(st.integers(min_value=0, max_value=23), max_size=30),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_switch_sequences_track_partition_exactly(
+        self, graph_and_sides, switches
+    ):
+        graph, sides = graph_and_sides
+        reference = Partition(graph, sides)
+        state = PartitionState(graph.csr().view(), sides)
+        for u in switches:
+            u %= graph.num_nodes
+            gain_ref = reference.switch_gain(u, 0.625)
+            assert state.switch_gain(u, 0.625) == pytest.approx(gain_ref)
+            reference.switch(u)
+            state.switch(u)
+            assert (state.f_cross, state.r_cross) == (
+                reference.f_cross,
+                reference.r_cross,
+            )
+            assert state.sides == reference.sides
+        assert state.verify_counts()
+
+    @given(graphs_with_sides(), st.sets(st.integers(min_value=0, max_value=23)))
+    @settings(max_examples=60, deadline=None)
+    def test_residual_state_matches_subgraph_partition(
+        self, graph_and_sides, removed
+    ):
+        graph, sides = graph_and_sides
+        removed = {u for u in removed if u < graph.num_nodes}
+        keep = [u for u in range(graph.num_nodes) if u not in removed]
+        if not keep:
+            return
+        sub, old_ids = graph.subgraph(keep)
+        reference = Partition(sub, [sides[u] for u in old_ids])
+        state = PartitionState(graph.csr().view().without(removed), sides)
+        assert (state.f_cross, state.r_cross) == (
+            reference.f_cross,
+            reference.r_cross,
+        )
+        assert state.suspicious_nodes() == [
+            old_ids[v] for v in reference.suspicious_nodes()
+        ]
+        # Switching any kept node keeps the two in lockstep.
+        for u in keep[: min(5, len(keep))]:
+            state.switch(u)
+            reference.switch(old_ids.index(u))
+            assert (state.f_cross, state.r_cross) == (
+                reference.f_cross,
+                reference.r_cross,
+            )
+
+    def test_weighted_state_matches_weighted_partition(self):
+        graph = random_augmented_graph(20, 40, 25, seed=9)
+        weighted = WeightedAugmentedGraph.from_graph(graph)
+        weighted.add_friendship(0, 1, 2.5)
+        weighted.add_rejection(2, 3, 1.5)
+        sides = [u % 2 for u in range(20)]
+        reference = WeightedPartition(weighted, sides)
+        state = PartitionState(weighted.csr().view(), sides)
+        assert state.f_cross == pytest.approx(reference.f_cross)
+        assert state.r_cross == pytest.approx(reference.r_cross)
+        for u in (0, 3, 7, 0, 12):
+            assert state.switch_gain(u, 0.7) == pytest.approx(
+                reference.switch_gain(u, 0.7)
+            )
+            state.switch(u)
+            reference.switch(u)
+            assert state.f_cross == pytest.approx(reference.f_cross)
+            assert state.r_cross == pytest.approx(reference.r_cross)
+        assert state.verify_counts()
+
+    def test_objective_and_rates_delegate_to_counters(self):
+        graph, sides = small_graph(), [0, 0, 1, 1, 0, 1]
+        state = PartitionState(graph.csr().view(), sides)
+        f, r = cut_counts(graph, sides)
+        assert state.objective(2.0) == f - 2.0 * r
+        assert state.acceptance_rate() == Partition(graph, sides).acceptance_rate()

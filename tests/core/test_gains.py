@@ -4,7 +4,16 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core import BucketGainIndex, HeapGainIndex, make_gain_index
+from repro.core import (
+    AugmentedSocialGraph,
+    BucketGainIndex,
+    HeapGainIndex,
+    PartitionState,
+    make_gain_index,
+)
+from repro.core.kl import adjust_neighbor_gains
+
+from ..conftest import graphs_with_sides
 
 
 def make_bucket(num_nodes=64, max_abs_gain=32, resolution=8):
@@ -214,3 +223,97 @@ def test_bucket_and_heap_pop_equal_gains(ops):
     bucket_gains = [p[1] for p in bucket_pops if p is not None]
     heap_gains = [p[1] for p in heap_pops if p is not None]
     assert bucket_gains == pytest.approx(heap_gains)
+
+
+# ----------------------------------------------------------------------
+# CSR-path property tests: drive the *real* per-switch update
+# (adjust_neighbor_gains over a PartitionState) and check every indexed
+# gain against brute-force recomputation via switch_gain.
+# ----------------------------------------------------------------------
+
+
+def _drive_csr_switches(index, state, k, max_switches=12):
+    """Pop/switch/adjust like a KL pass, checking gains at every step."""
+    eligible = [u for u in state.view.active_nodes() if not state.locked[u]]
+    for u in eligible:
+        index.insert(u, state.switch_gain(u, k))
+    for _ in range(max_switches):
+        popped = index.pop_max()
+        if popped is None:
+            break
+        u, gain = popped
+        assert not state.locked[u]
+        assert state.view.is_active(u)
+        assert gain == pytest.approx(state.switch_gain(u, k))
+        prev_side = state.sides[u]
+        state.switch(u)
+        adjust_neighbor_gains(index, state, u, prev_side, k)
+        for v in eligible:
+            if v in index:
+                assert index.gain_of(v) == pytest.approx(state.switch_gain(v, k))
+    assert state.verify_counts()
+
+
+_node_sets = st.sets(st.integers(min_value=0, max_value=23), max_size=8)
+
+
+@given(graphs_with_sides(), _node_sets)
+@settings(max_examples=50, deadline=None)
+def test_bucket_index_matches_brute_force_on_csr_path(graph_and_sides, locked_set):
+    """On-grid k: the bucket list tracks switch_gain exactly, and frozen
+    seeds (locked nodes) stay out of the index entirely."""
+    graph, sides = graph_and_sides
+    k = 0.625  # 5/8 — on the resolution-8 grid
+    locked = [u in locked_set for u in range(graph.num_nodes)]
+    state = PartitionState(graph.csr().view(), sides, locked=locked)
+    index = BucketGainIndex(
+        graph.num_nodes, max_abs_gain=state.max_abs_gain(k), resolution=8
+    )
+    _drive_csr_switches(index, state, k)
+    for u in range(graph.num_nodes):
+        if locked[u]:
+            assert state.sides[u] == sides[u]
+
+
+@given(graphs_with_sides(), _node_sets, _node_sets)
+@settings(max_examples=50, deadline=None)
+def test_heap_index_matches_brute_force_on_residual_view(
+    graph_and_sides, locked_set, removed_set
+):
+    """Off-grid k on a residual view: the lazy heap tracks switch_gain
+    computed over *active* neighbors only."""
+    graph, sides = graph_and_sides
+    k = 0.3  # off-grid: the real sweep would route this to the heap
+    removed = {u for u in removed_set if u < graph.num_nodes}
+    locked = [u in locked_set for u in range(graph.num_nodes)]
+    view = graph.csr().view().without(removed)
+    state = PartitionState(view, sides, locked=locked)
+    _drive_csr_switches(HeapGainIndex(), state, k)
+    for u in removed:
+        assert state.sides[u] == sides[u]
+
+
+def test_rejection_edge_asymmetry_on_csr_path():
+    """Rejections are directed: only side-0 → side-1 rejections count,
+    so flipping an edge's direction changes the indexed gains."""
+    k = 1.0
+    sides = [0, 0, 1]
+    forward = AugmentedSocialGraph.from_edges(
+        3, friendships=[(0, 1)], rejections=[(0, 2)]
+    )
+    reverse = AugmentedSocialGraph.from_edges(
+        3, friendships=[(0, 1)], rejections=[(2, 0)]
+    )
+    fwd_state = PartitionState(forward.csr().view(), list(sides))
+    rev_state = PartitionState(reverse.csr().view(), list(sides))
+    # (0 → 2) is a cross rejection (legit caster, suspicious target);
+    # (2 → 0) is not, so node 2's switch gain differs by k.
+    assert fwd_state.r_cross == 1
+    assert rev_state.r_cross == 0
+    assert fwd_state.switch_gain(2, k) != rev_state.switch_gain(2, k)
+    for state in (fwd_state, rev_state):
+        index = HeapGainIndex()
+        for u in range(3):
+            index.insert(u, state.switch_gain(u, k))
+        _u, gain = index.pop_max()
+        assert gain == max(state.switch_gain(v, k) for v in range(3))

@@ -1,0 +1,180 @@
+"""Legacy-engine vs CSR-engine parity.
+
+The tentpole refactor keeps the original dict-adjacency KL/MAAR/Rejecto
+implementations behind ``KLConfig(engine="legacy")``. These tests pin
+the new flat-array core to the old behavior: on canonicalized graphs
+(edges inserted in sorted order, so the legacy engine's insertion-order
+adjacency equals the CSR's sorted adjacency) the two paths must produce
+*identical* partitions, cut counters, and detected groups — not merely
+equally good ones.
+"""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.attacks.scenario import ScenarioConfig, build_scenario
+from repro.core import AugmentedSocialGraph, Partition
+from repro.core.kl import KLConfig, extended_kl
+from repro.core.maar import MAARConfig, solve_maar
+from repro.core.rejecto import Rejecto, RejectoConfig
+
+from ..conftest import graphs_with_sides
+
+LEGACY_KL = KLConfig(engine="legacy")
+
+
+def canonical(graph):
+    """Rebuild ``graph`` with sorted edge insertion.
+
+    Sorted insertion makes every legacy adjacency list ascending, i.e.
+    identical to the CSR ordering, so both engines visit neighbors in
+    the same order and tie-breaks resolve identically.
+    """
+    return AugmentedSocialGraph.from_edges(
+        graph.num_nodes,
+        friendships=sorted(graph.friendships()),
+        rejections=sorted(graph.rejections()),
+    )
+
+
+def scenario_graph(**overrides):
+    config = ScenarioConfig(num_legit=300, num_fakes=60).with_overrides(**overrides)
+    return build_scenario(config)
+
+
+SCENARIOS = {
+    "baseline": {},
+    "collusion": {"collusion_extra_links": 4},
+    "self_rejection": {"self_rejection_rate": 0.7, "whitewashed_fraction": 0.5},
+}
+
+
+def assert_maar_results_equal(legacy, new):
+    assert legacy.found == new.found
+    assert legacy.k == new.k
+    assert legacy.acceptance_rate == pytest.approx(new.acceptance_rate)
+    if legacy.found:
+        assert legacy.suspicious_nodes() == new.suspicious_nodes()
+        assert legacy.partition.f_cross == new.partition.f_cross
+        assert legacy.partition.r_cross == new.partition.r_cross
+    assert len(legacy.per_k) == len(new.per_k)
+    for old_c, new_c in zip(legacy.per_k, new.per_k):
+        assert old_c.k == new_c.k
+        assert old_c.valid == new_c.valid
+        assert old_c.f_cross == new_c.f_cross
+        assert old_c.r_cross == new_c.r_cross
+        assert old_c.suspicious_size == new_c.suspicious_size
+        assert old_c.acceptance_rate == pytest.approx(new_c.acceptance_rate)
+
+
+class TestExtendedKLParity:
+    @given(graphs_with_sides())
+    @settings(max_examples=40, deadline=None)
+    def test_bucket_grid_k_values(self, graph_and_sides):
+        graph, sides = graph_and_sides
+        graph = canonical(graph)
+        for k in (0.125, 1.0, 4.0):
+            initial = Partition(graph, list(sides))
+            legacy = extended_kl(graph, k, initial, config=LEGACY_KL)
+            new = extended_kl(graph, k, initial)
+            assert new.sides == legacy.sides
+            assert (new.f_cross, new.r_cross) == (legacy.f_cross, legacy.r_cross)
+
+    @given(graphs_with_sides())
+    @settings(max_examples=40, deadline=None)
+    def test_off_grid_k_uses_heap_on_both_engines(self, graph_and_sides):
+        graph, sides = graph_and_sides
+        graph = canonical(graph)
+        initial = Partition(graph, list(sides))
+        legacy = extended_kl(graph, 0.3, initial, config=LEGACY_KL)
+        new = extended_kl(graph, 0.3, initial)
+        assert new.sides == legacy.sides
+        assert (new.f_cross, new.r_cross) == (legacy.f_cross, legacy.r_cross)
+
+    @given(graphs_with_sides())
+    @settings(max_examples=40, deadline=None)
+    def test_locked_nodes_respected_identically(self, graph_and_sides):
+        graph, sides = graph_and_sides
+        graph = canonical(graph)
+        locked = [u % 3 == 0 for u in range(graph.num_nodes)]
+        initial = Partition(graph, list(sides))
+        legacy = extended_kl(graph, 1.0, initial, locked=locked, config=LEGACY_KL)
+        new = extended_kl(graph, 1.0, initial, locked=locked)
+        assert new.sides == legacy.sides
+        for u in range(graph.num_nodes):
+            if locked[u]:
+                assert new.sides[u] == sides[u]
+
+
+class TestMAARParity:
+    @pytest.mark.parametrize("name", sorted(SCENARIOS))
+    def test_scenario_sweep_identical(self, name):
+        scenario = scenario_graph(**SCENARIOS[name])
+        graph = canonical(scenario.graph)
+        legacy = solve_maar(graph, MAARConfig(kl=LEGACY_KL))
+        new = solve_maar(graph, MAARConfig())
+        assert_maar_results_equal(legacy, new)
+        assert legacy.found
+
+    def test_seeded_sweep_identical(self):
+        scenario = scenario_graph()
+        graph = canonical(scenario.graph)
+        legit_seeds, spammer_seeds = scenario.sample_seeds(20, 5, seed=11)
+        legacy = solve_maar(
+            graph,
+            MAARConfig(kl=LEGACY_KL),
+            legit_seeds=legit_seeds,
+            spammer_seeds=spammer_seeds,
+        )
+        new = solve_maar(
+            graph,
+            MAARConfig(),
+            legit_seeds=legit_seeds,
+            spammer_seeds=spammer_seeds,
+        )
+        assert_maar_results_equal(legacy, new)
+        suspicious = set(new.suspicious_nodes())
+        assert suspicious.issuperset(spammer_seeds)
+        assert suspicious.isdisjoint(legit_seeds)
+
+    def test_refinement_rounds_identical(self):
+        scenario = scenario_graph()
+        graph = canonical(scenario.graph)
+        legacy = solve_maar(graph, MAARConfig(kl=LEGACY_KL, refine_rounds=2))
+        new = solve_maar(graph, MAARConfig(refine_rounds=2))
+        assert_maar_results_equal(legacy, new)
+
+
+class TestRejectoParity:
+    @pytest.mark.parametrize("name", sorted(SCENARIOS))
+    def test_detected_groups_identical(self, name):
+        scenario = scenario_graph(**SCENARIOS[name])
+        graph = canonical(scenario.graph)
+        legacy = Rejecto(RejectoConfig(maar=MAARConfig(kl=LEGACY_KL))).detect(graph)
+        new = Rejecto().detect(graph)
+        assert new.termination == legacy.termination
+        assert new.rounds_run == legacy.rounds_run
+        assert len(new.groups) == len(legacy.groups)
+        for old_g, new_g in zip(legacy.groups, new.groups):
+            assert new_g.members == old_g.members
+            assert new_g.f_cross == old_g.f_cross
+            assert new_g.r_cross == old_g.r_cross
+            assert new_g.acceptance_rate == pytest.approx(old_g.acceptance_rate)
+        assert new.detected() == legacy.detected()
+
+    def test_seeded_detection_identical(self):
+        scenario = scenario_graph()
+        graph = canonical(scenario.graph)
+        legit_seeds, spammer_seeds = scenario.sample_seeds(20, 5, seed=3)
+        config = RejectoConfig(estimated_spammers=len(scenario.fakes))
+        legacy = Rejecto(
+            RejectoConfig(
+                maar=MAARConfig(kl=LEGACY_KL),
+                estimated_spammers=len(scenario.fakes),
+            )
+        ).detect(graph, legit_seeds=legit_seeds, spammer_seeds=spammer_seeds)
+        new = Rejecto(config).detect(
+            graph, legit_seeds=legit_seeds, spammer_seeds=spammer_seeds
+        )
+        assert new.termination == legacy.termination
+        assert [g.members for g in new.groups] == [g.members for g in legacy.groups]

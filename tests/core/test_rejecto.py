@@ -182,3 +182,40 @@ class TestRejectoResult:
         assert result.detected_set() == {3, 5}
         assert result.total_detected == 2
         assert len(group) == 2
+
+
+class TestResidualViewRounds:
+    """The CSR engine's rounds carve residual *views*, never copies."""
+
+    def test_rounds_do_not_call_subgraph(self, monkeypatch):
+        graph, group_a, group_b = two_group_spam_graph()
+
+        def forbidden(self, nodes):  # pragma: no cover - must not run
+            raise AssertionError(
+                "default-engine detection must not deep-copy via subgraph()"
+            )
+
+        monkeypatch.setattr(AugmentedSocialGraph, "subgraph", forbidden)
+        result = Rejecto(RejectoConfig(estimated_spammers=24)).detect(graph)
+        assert result.rounds_run >= 2
+        assert set(group_a) <= result.detected_set()
+
+    def test_rounds_reuse_one_csr_snapshot(self):
+        graph, _, _ = two_group_spam_graph()
+        csr = graph.csr()
+        result = Rejecto(RejectoConfig(estimated_spammers=24)).detect(graph)
+        # detect() finalized the builder once and reused the cached CSR;
+        # every round only allocated an O(V) active mask on top of it.
+        assert graph.csr() is csr
+        assert result.rounds_run >= 2
+
+    def test_legacy_engine_still_copies(self):
+        from repro.core.kl import KLConfig
+
+        graph, group_a, _ = two_group_spam_graph()
+        config = RejectoConfig(
+            maar=MAARConfig(kl=KLConfig(engine="legacy")),
+            estimated_spammers=24,
+        )
+        result = Rejecto(config).detect(graph)
+        assert set(group_a) <= result.detected_set()
