@@ -1,0 +1,180 @@
+"""Parallel MAAR ``k``-sweep: serial vs multi-worker wall clock.
+
+The sweep's ``k`` steps are independent extended-KL runs over one
+immutable CSR snapshot (``MAARConfig(warm_start=False)``, the default),
+so ``MAARConfig(jobs=N)`` fans them out through
+:mod:`repro.core.parallel`. This benchmark measures the end-to-end
+``solve_maar`` wall clock at 1/2/4/8 workers on the default 2000+400
+attack scale plus one ~10k-node scale point, asserts the parallel
+results are *bit-identical* to the serial sweep, and writes everything
+to ``BENCH_parallel_sweep.json`` at the repo root.
+
+Because wall-clock parallel speedup is a property of the host (a 1-core
+container can never beat serial), the report also records each ``k``
+step's serial duration and the *modeled* makespan of scheduling those
+measured durations greedily onto N workers — the speedup the fan-out
+delivers once cores exist. ``cpu_count`` is recorded so readers can tell
+which regime a given JSON was produced in; the measured-speedup
+assertion only applies on multi-core hosts.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_parallel_sweep.py          # full
+    PYTHONPATH=src python benchmarks/bench_parallel_sweep.py --smoke  # CI
+"""
+
+import argparse
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.attacks import ScenarioConfig, build_scenario
+from repro.core import MAARConfig, geometric_k_sequence, solve_maar
+from repro.core.parallel import fork_available, resolve_executor
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+OUTPUT_PATH = REPO_ROOT / "BENCH_parallel_sweep.json"
+
+#: (num_legit, num_fakes): the paper-protocol default scale and a
+#: ~10k-node point (5:1 legit:fake ratio, as in the sweeps).
+FULL_SCALES = ((2000, 400), (8333, 1667))
+SMOKE_SCALES = ((400, 80),)
+FULL_WORKERS = (2, 4, 8)
+SMOKE_WORKERS = (2,)
+
+
+def _result_fingerprint(result):
+    """Everything the sweep decides: best cut, per-k diagnostics, stats."""
+    return (
+        result.k,
+        result.acceptance_rate,
+        result.suspicious_nodes(),
+        [
+            (c.k, c.valid, c.f_cross, c.r_cross, c.suspicious_size)
+            for c in result.per_k
+        ],
+        (
+            result.stats.passes,
+            result.stats.switches_applied,
+            result.stats.switches_tested,
+            result.stats.objective_history,
+        ),
+    )
+
+
+def _greedy_makespan(durations, workers):
+    """Makespan of assigning tasks (in submission order) to the first
+    free worker — the schedule a work-stealing pool approximates."""
+    free = [0.0] * workers
+    for duration in durations:
+        slot = free.index(min(free))
+        free[slot] += duration
+    return max(free)
+
+
+def measure_per_k(graph, config):
+    """Serial duration of each ``k`` step, on the shared snapshot."""
+    durations = []
+    for k in geometric_k_sequence(config.k_min, config.k_factor, config.k_steps):
+        single = MAARConfig(k_min=k, k_steps=1, kl=config.kl)
+        start = time.perf_counter()
+        solve_maar(graph, single)
+        durations.append(time.perf_counter() - start)
+    return durations
+
+
+def run_scale(num_legit, num_fakes, worker_grid):
+    scenario = build_scenario(
+        ScenarioConfig(num_legit=num_legit, num_fakes=num_fakes)
+    )
+    graph = scenario.graph.csr()
+
+    start = time.perf_counter()
+    serial = solve_maar(graph, MAARConfig())
+    serial_seconds = time.perf_counter() - start
+    assert serial.found
+    reference = _result_fingerprint(serial)
+
+    per_k = measure_per_k(graph, MAARConfig())
+    row = {
+        "num_legit": num_legit,
+        "num_fakes": num_fakes,
+        "users": graph.num_nodes,
+        "friendships": graph.num_friendships,
+        "rejections": graph.num_rejections,
+        "serial_seconds": serial_seconds,
+        "per_k_seconds": per_k,
+        "workers": {},
+    }
+    for jobs in worker_grid:
+        start = time.perf_counter()
+        parallel = solve_maar(graph, MAARConfig(jobs=jobs))
+        seconds = time.perf_counter() - start
+        identical = _result_fingerprint(parallel) == reference
+        assert identical, f"parallel sweep (jobs={jobs}) diverged from serial"
+        row["workers"][str(jobs)] = {
+            "seconds": seconds,
+            "measured_speedup": serial_seconds / seconds,
+            "modeled_speedup": sum(per_k) / _greedy_makespan(per_k, jobs),
+            "backend": resolve_executor("auto", jobs),
+            "identical": identical,
+        }
+    return row
+
+
+def run_report(smoke=False):
+    scales = SMOKE_SCALES if smoke else FULL_SCALES
+    workers = SMOKE_WORKERS if smoke else FULL_WORKERS
+    return {
+        "smoke": smoke,
+        "cpu_count": os.cpu_count(),
+        "fork_available": fork_available(),
+        "scales": [
+            run_scale(num_legit, num_fakes, workers)
+            for num_legit, num_fakes in scales
+        ],
+    }
+
+
+def write_report(payload):
+    OUTPUT_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return OUTPUT_PATH
+
+
+def bench_parallel_sweep(benchmark):
+    """pytest-benchmark entry: smoke scale, parallel == serial."""
+    payload = benchmark.pedantic(run_report, args=(True,), rounds=1, iterations=1)
+    for row in payload["scales"]:
+        assert all(w["identical"] for w in row["workers"].values())
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small scale, 2 workers only (CI rot check; does not "
+        "overwrite a full report)",
+    )
+    args = parser.parse_args(argv)
+    payload = run_report(smoke=args.smoke)
+    print(json.dumps(payload, indent=2, sort_keys=True))
+    if args.smoke:
+        print("\nsmoke run ok (report not written)")
+        return 0
+    path = write_report(payload)
+    print(f"\nwrote {path}")
+    cores = os.cpu_count() or 1
+    if cores >= 2:
+        four = payload["scales"][0]["workers"].get("4")
+        if four is not None:
+            assert four["measured_speedup"] >= 1.8, (
+                "expected >= 1.8x at 4 workers on the default scale, got "
+                f"{four['measured_speedup']:.2f}x on {cores} cores"
+            )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -75,6 +75,16 @@ def build_parser() -> argparse.ArgumentParser:
             action="store_true",
             help="render an ASCII chart alongside the table",
         )
+        add_jobs_arg(p)
+
+    def add_jobs_arg(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--jobs",
+            type=int,
+            default=1,
+            help="worker count for parallel execution (sweep points and "
+            "the per-round MAAR k sweep); 0 means all cores",
+        )
 
     for name in _SWEEPS:
         p = sub.add_parser(name, help=f"regenerate {name}")
@@ -110,6 +120,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--num-legit", type=int, default=800)
     p.add_argument("--num-fakes", type=int, default=160)
     p.add_argument("--seed", type=int, default=7)
+    add_jobs_arg(p)
 
     p = sub.add_parser("fig18", help="Appendix B strategy sweeps")
     p.add_argument("--datasets", nargs="+", default=None)
@@ -117,6 +128,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--num-legit", type=int, default=800)
     p.add_argument("--num-fakes", type=int, default=160)
     p.add_argument("--seed", type=int, default=7)
+    add_jobs_arg(p)
 
     p = sub.add_parser("table2", help="Table II scaling study")
     p.add_argument("--sizes", nargs="+", type=int, default=[1000, 2000, 4000, 8000])
@@ -124,6 +136,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("all", help="regenerate everything")
     p.add_argument("--quick", action="store_true", help="smaller workloads")
+    add_jobs_arg(p)
 
     p = sub.add_parser(
         "report", help="run the evaluation and write a markdown report"
@@ -195,6 +208,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the per-group evidence breakdown",
     )
+    add_jobs_arg(p)
 
     p = sub.add_parser(
         "shard-detect",
@@ -210,8 +224,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--threshold", type=float, default=None)
     p.add_argument("--legit-seeds", type=int, nargs="*", default=[])
     p.add_argument("--max-rounds", type=int, default=25)
+    add_jobs_arg(p)
 
     return parser
+
+
+def _resolve_jobs(args: argparse.Namespace) -> int:
+    """``--jobs 0`` means "use every core"."""
+    jobs = getattr(args, "jobs", 1)
+    if jobs <= 0:
+        from .core.parallel import default_jobs
+
+        return default_jobs()
+    return jobs
 
 
 def _sweep_config(args: argparse.Namespace) -> SweepConfig:
@@ -221,6 +246,7 @@ def _sweep_config(args: argparse.Namespace) -> SweepConfig:
         dataset=args.dataset,
         seed=args.seed,
         trials=getattr(args, "trials", 1),
+        jobs=_resolve_jobs(args),
     )
 
 
@@ -257,7 +283,10 @@ def _run_command(args: argparse.Namespace, out=sys.stdout) -> None:
         print(defense_in_depth(config).render(), file=out)
     elif command in ("fig17", "fig18"):
         config = SweepConfig(
-            num_legit=args.num_legit, num_fakes=args.num_fakes, seed=args.seed
+            num_legit=args.num_legit,
+            num_fakes=args.num_fakes,
+            seed=args.seed,
+            jobs=_resolve_jobs(args),
         )
         run = appendix_sensitivity if command == "fig17" else appendix_strategies
         kwargs = {"points": args.points}
@@ -272,7 +301,7 @@ def _run_command(args: argparse.Namespace, out=sys.stdout) -> None:
         config = ScalingConfig(user_counts=tuple(args.sizes), seed=args.seed)
         print(scaling_study(config).render(), file=out)
     elif command == "all":
-        _run_all(quick=args.quick, out=out)
+        _run_all(quick=args.quick, out=out, jobs=_resolve_jobs(args))
     elif command == "report":
         from .experiments import ReportConfig, write_report
 
@@ -310,7 +339,7 @@ def _run_detect(args: argparse.Namespace, out) -> None:
         graph = load_request_log(args.requests).to_augmented_graph()
     assert_valid_graph(graph)
     config = RejectoConfig(
-        maar=MAARConfig(),
+        maar=MAARConfig(jobs=_resolve_jobs(args)),
         estimated_spammers=args.estimated,
         acceptance_threshold=args.threshold,
         max_rounds=args.max_rounds,
@@ -363,7 +392,7 @@ def _run_shard_detect(args: argparse.Namespace, out) -> None:
 
     shards = [load_augmented_graph(path) for path in args.graphs]
     config = RejectoConfig(
-        maar=MAARConfig(),
+        maar=MAARConfig(jobs=_resolve_jobs(args)),
         estimated_spammers=args.estimated,
         acceptance_threshold=args.threshold,
         max_rounds=args.max_rounds,
@@ -387,11 +416,13 @@ def _run_shard_detect(args: argparse.Namespace, out) -> None:
     )
 
 
-def _run_all(quick: bool, out) -> None:
+def _run_all(quick: bool, out, jobs: int = 1) -> None:
     scale = 0.1 if quick else 0.2
     num_legit = 600 if quick else 1500
     num_fakes = 120 if quick else 300
-    sweep_config = SweepConfig(num_legit=num_legit, num_fakes=num_fakes)
+    sweep_config = SweepConfig(
+        num_legit=num_legit, num_fakes=num_fakes, jobs=jobs
+    )
     steps = [
         ("Table I", lambda: datasets_table(scale=scale).render()),
         ("Fig. 1", lambda: motivation_study().render()),

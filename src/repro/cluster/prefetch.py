@@ -81,7 +81,10 @@ class PrefetchBuffer:
 
         ``prefetch_candidates`` should be the current highest-gain nodes
         (likely next accesses); at most ``batch_size − 1`` of them ride
-        along with the missed key.
+        along with the missed key. The effective batch is further capped
+        at ``capacity``, and the requested key is inserted as the most
+        recently used entry — so a fetch batch can never evict the very
+        record it was issued for.
         """
         if key in self._entries:
             self.stats.hits += 1
@@ -91,9 +94,10 @@ class PrefetchBuffer:
         self.stats.misses += 1
         wanted: List[Any] = [key]
         if self.capacity:
+            limit = min(self.batch_size, self.capacity)
             seen = {key}
             for candidate in prefetch_candidates:
-                if len(wanted) >= self.batch_size:
+                if len(wanted) >= limit:
                     break
                 if candidate not in seen and candidate not in self._entries:
                     wanted.append(candidate)
@@ -107,9 +111,14 @@ class PrefetchBuffer:
             if fetched_key == key:
                 result = record
                 found = True
-            self._insert(fetched_key, record)
+            else:
+                self._insert(fetched_key, record)
         if not found:
             raise KeyError(f"fetch_batch did not return requested key {key!r}")
+        # Inserted last: the requested key ends up most recently used, so
+        # the ride-along candidates can neither evict it nor thrash it
+        # out before the caller's next access.
+        self._insert(key, result)
         return result
 
     def _insert(self, key: Any, record: Any) -> None:

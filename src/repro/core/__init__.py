@@ -26,9 +26,17 @@ from .maar import (
     KCandidate,
     MAARConfig,
     MAARResult,
+    check_seeds,
     geometric_k_sequence,
     initial_partition,
     solve_maar,
+)
+from .parallel import (
+    available_backends,
+    default_jobs,
+    fork_available,
+    parallel_map,
+    resolve_executor,
 )
 from .objectives import (
     LEGITIMATE,
@@ -80,9 +88,15 @@ __all__ = [
     "MAARConfig",
     "MAARResult",
     "KCandidate",
+    "check_seeds",
     "geometric_k_sequence",
     "initial_partition",
     "solve_maar",
+    "available_backends",
+    "default_jobs",
+    "fork_available",
+    "parallel_map",
+    "resolve_executor",
     "Rejecto",
     "RejectoConfig",
     "RejectoResult",

@@ -356,6 +356,46 @@ class CSRGraph:
     def nodes(self) -> range:
         return range(self.num_nodes)
 
+    # ------------------------------------------------------------------
+    # Pickling (parallel process workers)
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> Tuple:
+        """Pickle only the flat buffers — the derived caches (plain-list
+        hot views, numpy ``frombuffer`` views) are rebuilt lazily on the
+        receiving side, so a spawn-platform worker transfer is just the
+        CSR arrays."""
+        return (
+            self.num_nodes,
+            self.backend,
+            self.f_ptr,
+            self.f_idx,
+            self.ro_ptr,
+            self.ro_idx,
+            self.ri_ptr,
+            self.ri_idx,
+            self.f_wt,
+            self.ro_wt,
+            self.ri_wt,
+        )
+
+    def __setstate__(self, state: Tuple) -> None:
+        (
+            self.num_nodes,
+            self.backend,
+            self.f_ptr,
+            self.f_idx,
+            self.ro_ptr,
+            self.ro_idx,
+            self.ri_ptr,
+            self.ri_idx,
+            self.f_wt,
+            self.ro_wt,
+            self.ri_wt,
+        ) = state
+        self._hot_cache = None
+        self._hot_wt_cache = None
+        self._np_cache = None
+
     def view(self) -> "CSRView":
         """An all-active residual view of this graph."""
         return CSRView(self)
@@ -398,17 +438,32 @@ class CSRView:
         self.active = active
         self.num_active = num_active
 
+    def _check_node(self, u: int) -> None:
+        """Reject out-of-range ids. Without this, ``active[-1]`` would
+        silently deactivate node ``num_nodes - 1`` via Python's negative
+        indexing instead of failing."""
+        if not 0 <= u < self.csr.num_nodes:
+            raise ValueError(
+                f"node id {u} out of range for graph with "
+                f"{self.csr.num_nodes} nodes"
+            )
+
     def without(self, removed: Iterable[int]) -> "CSRView":
-        """A new view with the given nodes deactivated (idempotent)."""
+        """A new view with the given nodes deactivated (idempotent).
+
+        Raises ``ValueError`` on ids outside ``[0, num_nodes)``.
+        """
         active = bytearray(self.active)
         dropped = 0
         for u in removed:
+            self._check_node(u)
             if active[u]:
                 active[u] = 0
                 dropped += 1
         return CSRView(self.csr, active, self.num_active - dropped)
 
     def is_active(self, u: int) -> bool:
+        self._check_node(u)
         return bool(self.active[u])
 
     def active_nodes(self) -> List[int]:

@@ -23,6 +23,7 @@ from .csr import CSRView, PartitionState
 from .graph import AugmentedSocialGraph
 from .kl import KLConfig, KLStats, extended_kl, extended_kl_state
 from .objectives import LEGITIMATE, SUSPICIOUS
+from .parallel import parallel_map
 from .partition import Partition
 
 logger = logging.getLogger(__name__)
@@ -31,10 +32,42 @@ __all__ = [
     "MAARConfig",
     "KCandidate",
     "MAARResult",
+    "check_seeds",
     "geometric_k_sequence",
     "initial_partition",
     "solve_maar",
 ]
+
+
+def check_seeds(
+    num_nodes: int,
+    legit_seeds: Sequence[int] = (),
+    spammer_seeds: Sequence[int] = (),
+) -> None:
+    """Validate seed lists against a graph of ``num_nodes`` users.
+
+    Rejects ids outside ``[0, num_nodes)`` — a negative id would
+    otherwise wrap around via Python indexing and silently pin the
+    *wrong* node — and rejects nodes listed as both legitimate and
+    spammer seeds, which previously resolved to SUSPICIOUS merely
+    because the spammer loop ran last.
+    """
+    for name, seeds in (
+        ("legit_seeds", legit_seeds),
+        ("spammer_seeds", spammer_seeds),
+    ):
+        for u in seeds:
+            if not 0 <= u < num_nodes:
+                raise ValueError(
+                    f"{name} contains node id {u}, out of range for a "
+                    f"graph with {num_nodes} nodes"
+                )
+    overlap = set(legit_seeds) & set(spammer_seeds)
+    if overlap:
+        raise ValueError(
+            "seeds listed as both legitimate and spammer: "
+            f"{sorted(overlap)}"
+        )
 
 
 def geometric_k_sequence(k_min: float, factor: float, steps: int) -> List[float]:
@@ -100,6 +133,19 @@ class MAARConfig:
         ratio, so each accepted round improves the acceptance rate; the
         loop stops at the first non-improving round. Off by default (0
         rounds) to match the paper's plain grid sweep.
+    jobs:
+        Worker count for the ``k`` sweep. With ``warm_start=False``
+        (the default) every ``k`` step is an independent KL run over the
+        same immutable CSR snapshot, so ``jobs > 1`` fans the steps out
+        through :mod:`repro.core.parallel` and reduces with the exact
+        serial tie-break order — results are bit-identical to ``jobs=1``
+        (property-tested in ``tests/core/test_parity.py``). Ignored
+        when ``warm_start=True`` (the steps are coupled) and on the
+        legacy engine.
+    executor:
+        Backend for the parallel sweep: ``"auto"`` (process on fork
+        platforms, thread otherwise), ``"serial"``, ``"thread"``, or
+        ``"process"``.
     """
 
     k_min: float = 0.125
@@ -114,6 +160,8 @@ class MAARConfig:
     min_evidence: float = 0.0
     warm_start: bool = False
     refine_rounds: int = 0
+    jobs: int = 1
+    executor: str = "auto"
 
     def k_values(self) -> List[float]:
         return geometric_k_sequence(self.k_min, self.k_factor, self.k_steps)
@@ -161,9 +209,12 @@ def initial_partition(
     """Build the sweep's starting partition.
 
     Seeds override the strategy: legitimate seeds always start (and stay)
-    on side 0, spammer seeds on side 1.
+    on side 0, spammer seeds on side 1. Seed ids are validated against
+    the graph (:func:`check_seeds`); out-of-range or overlapping seed
+    lists raise ``ValueError``.
     """
     n = graph.num_nodes
+    check_seeds(n, legit_seeds, spammer_seeds)
     if config.init == "rejection":
         sides = [
             SUSPICIOUS if graph.rej_in[u] else LEGITIMATE for u in range(n)
@@ -251,6 +302,72 @@ def _is_valid_state(state: PartitionState, config: MAARConfig) -> bool:
     )
 
 
+def _sweep_k_task(k: float, shared) -> Tuple[List[int], float, float, List[int], KLStats]:
+    """One ``k`` step of the parallel sweep, run inside a worker.
+
+    ``shared`` carries the (read-only) initial :class:`PartitionState`
+    and KL config; only ``k`` varies per task. Returns the switched
+    sides plus counters and this step's own :class:`KLStats`, which the
+    parent merges back in ``k`` order so the aggregate diagnostics match
+    the serial sweep exactly.
+    """
+    init, kl_config = shared
+    stats = KLStats()
+    candidate = extended_kl_state(init, k, config=kl_config, stats=stats)
+    return (
+        candidate.sides,
+        candidate.f_cross,
+        candidate.r_cross,
+        candidate.side_sizes,
+        stats,
+    )
+
+
+def _sweep_candidates(
+    init: PartitionState, config: MAARConfig, stats: KLStats
+) -> List[PartitionState]:
+    """Run the extended-KL search once per grid ``k``, in grid order.
+
+    With ``config.jobs > 1`` (and no warm start, which couples the
+    steps) the independent runs fan out through
+    :func:`repro.core.parallel.parallel_map`; results come back in grid
+    order and per-step stats merge in that same order, so the serial and
+    parallel paths are indistinguishable to the caller.
+    """
+    k_values = config.k_values()
+    if config.jobs > 1 and not config.warm_start and len(k_values) > 1:
+        outcomes = parallel_map(
+            _sweep_k_task,
+            k_values,
+            shared=(init, config.kl),
+            jobs=config.jobs,
+            executor=config.executor,
+        )
+        candidates = []
+        for sides, f_cross, r_cross, side_sizes, k_stats in outcomes:
+            candidate = PartitionState.__new__(PartitionState)
+            candidate.view = init.view
+            candidate.sides = sides
+            candidate.locked = init.locked
+            candidate.f_cross = f_cross
+            candidate.r_cross = r_cross
+            candidate.side_sizes = side_sizes
+            candidates.append(candidate)
+            stats.passes += k_stats.passes
+            stats.switches_applied += k_stats.switches_applied
+            stats.switches_tested += k_stats.switches_tested
+            stats.objective_history.extend(k_stats.objective_history)
+        return candidates
+    candidates = []
+    previous = init
+    for k in k_values:
+        start = previous if config.warm_start else init
+        candidate = extended_kl_state(start, k, config=config.kl, stats=stats)
+        previous = candidate
+        candidates.append(candidate)
+    return candidates
+
+
 def _solve_maar_view(
     view: CSRView,
     config: MAARConfig,
@@ -266,6 +383,7 @@ def _solve_maar_view(
     :class:`Partition` for the queries the callers use).
     """
     n = view.csr.num_nodes
+    check_seeds(n, legit_seeds, spammer_seeds)
     locked = [False] * n
     for u in legit_seeds:
         locked[u] = True
@@ -280,12 +398,8 @@ def _solve_maar_view(
     best_k: Optional[float] = None
     best_key: Tuple[float, float] = (float("inf"), 0)
     per_k: List[KCandidate] = []
-    previous = init
 
-    for k in config.k_values():
-        start = previous if config.warm_start else init
-        candidate = extended_kl_state(start, k, config=config.kl, stats=stats)
-        previous = candidate
+    for k, candidate in zip(config.k_values(), _sweep_candidates(init, config, stats)):
         valid = _is_valid_state(candidate, config)
         acceptance = candidate.acceptance_rate()
         per_k.append(
@@ -393,6 +507,7 @@ def _solve_maar_legacy(
     spammer_seeds: Sequence[int] = (),
 ) -> MAARResult:
     """The original sweep over the builder's list-of-lists adjacency."""
+    check_seeds(graph.num_nodes, legit_seeds, spammer_seeds)
     locked = [False] * graph.num_nodes
     for u in legit_seeds:
         locked[u] = True

@@ -23,7 +23,7 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Set
 
 from .graph import AugmentedSocialGraph
-from .maar import MAARConfig, _solve_maar_view, solve_maar
+from .maar import MAARConfig, _solve_maar_view, check_seeds, solve_maar
 
 __all__ = ["RejectoConfig", "DetectedGroup", "RejectoResult", "Rejecto"]
 
@@ -144,7 +144,13 @@ class Rejecto:
         O(V+E) ``subgraph()`` deep copy. ``engine == "legacy"`` keeps the
         original per-round subgraph materialization (builder inputs
         only); both report identical groups on sorted-adjacency inputs.
+
+        With ``config.maar.jobs > 1`` every round's ``k`` sweep fans out
+        through :mod:`repro.core.parallel` (rounds themselves stay
+        sequential — each prunes the view the next one solves on); the
+        detected groups are bit-identical to the serial sweep's.
         """
+        check_seeds(graph.num_nodes, legit_seeds, spammer_seeds)
         if self.config.maar.kl.engine == "legacy" and isinstance(
             graph, AugmentedSocialGraph
         ):

@@ -14,11 +14,11 @@ links) are kept at paper values so crossovers land in the same places.
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..attacks.scenario import ScenarioConfig, build_scenario
+from ..core.parallel import parallel_map
 from .runner import SchemeSetup, evaluate_schemes
 from .tables import format_series
 
@@ -55,9 +55,10 @@ class SweepConfig:
     ``trials`` repeats every sweep point over consecutive seeds
     (``seed``, ``seed+1``, …) and reports the mean precision per point;
     the per-trial spread is kept in :attr:`SweepResult.spread`.
-    ``jobs > 1`` evaluates sweep points in parallel worker processes
-    (each point is an independent simulation, so this is embarrassingly
-    parallel).
+    ``jobs > 1`` fans the sweep points out through
+    :mod:`repro.core.parallel` (each point is an independent simulation,
+    so this is embarrassingly parallel); ``executor`` picks the backend
+    (``"auto"`` → worker processes on fork platforms).
     """
 
     num_legit: int = 1500
@@ -66,6 +67,7 @@ class SweepConfig:
     seed: int = 7
     trials: int = 1
     jobs: int = 1
+    executor: str = "auto"
     setup: SchemeSetup = field(default_factory=SchemeSetup)
 
     def base_scenario(self, trial: int = 0, **overrides) -> ScenarioConfig:
@@ -103,10 +105,12 @@ class SweepResult:
 
 
 def _evaluate_point(
-    job: Tuple[ScenarioConfig, SchemeSetup]
+    job: Tuple[ScenarioConfig, SchemeSetup], shared: object = None
 ) -> Dict[str, float]:
     """One (scenario, setup) evaluation — module-level so worker
-    processes can unpickle and run it."""
+    processes can unpickle and run it. ``shared`` is unused (each point
+    builds its own scenario) but part of the ``parallel_map`` task
+    signature."""
     scenario_config, setup = job
     scenario = build_scenario(scenario_config)
     outcome = evaluate_schemes(scenario, setup)
@@ -126,11 +130,9 @@ def _run_sweep(
         for x in x_values
         for trial in range(trials)
     ]
-    if config.jobs > 1:
-        with ProcessPoolExecutor(max_workers=config.jobs) as pool:
-            outcomes = list(pool.map(_evaluate_point, jobs))
-    else:
-        outcomes = [_evaluate_point(job) for job in jobs]
+    outcomes = parallel_map(
+        _evaluate_point, jobs, jobs=config.jobs, executor=config.executor
+    )
 
     series: Dict[str, List[float]] = {}
     spread: Dict[str, List[float]] = {}

@@ -66,6 +66,31 @@ class TestPrefetchBuffer:
         buffer.get(0, prefetch_candidates=[0, 1, 1, 2])
         assert fetches[0] == [0, 1, 2]
 
+    def test_batch_capped_at_capacity_keeps_requested_key(self):
+        """Regression: a fetch batch larger than remaining capacity used
+        to evict the just-fetched key (inserted first, evicted by its
+        own ride-alongs), wasting the very next access."""
+        _, fetch, fetches = make_store()
+        buffer = PrefetchBuffer(capacity=2, fetch_batch=fetch, batch_size=8)
+        buffer.get(0, prefetch_candidates=[1, 2, 3, 4, 5])
+        assert fetches[0] == [0, 1]  # capacity caps the batch
+        assert 0 in buffer  # the requested key stays resident...
+        assert len(buffer) <= buffer.capacity
+        assert buffer.stats.evictions == 0  # ...without churning the LRU
+        buffer.get(0)
+        assert buffer.stats.hits == 1
+
+    def test_requested_key_is_most_recent_after_fetch(self):
+        """The missed key is inserted last (MRU), so ride-alongs are
+        evicted before it under pressure."""
+        _, fetch, _ = make_store()
+        buffer = PrefetchBuffer(capacity=2, fetch_batch=fetch, batch_size=2)
+        buffer.get(0, prefetch_candidates=[1])  # buffer: {1, 0(MRU)}
+        buffer.get(2)  # evicts 1, not 0
+        assert 0 in buffer
+        assert 1 not in buffer
+        assert 2 in buffer
+
     def test_missing_key_raises(self):
         _, fetch, _ = make_store(size=3)
         buffer = PrefetchBuffer(capacity=4, fetch_batch=fetch, batch_size=2)

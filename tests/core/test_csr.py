@@ -127,6 +127,34 @@ class TestCSRView:
         again = residual.without([1])
         assert again.num_active == residual.num_active
 
+    def test_without_rejects_out_of_range_ids(self):
+        """Regression: ``active[-1] = 0`` used to silently deactivate
+        node ``num_nodes - 1`` via Python's negative indexing."""
+        view = small_graph().csr().view()
+        with pytest.raises(ValueError, match="out of range"):
+            view.without([-1])
+        with pytest.raises(ValueError, match="out of range"):
+            view.without([6])
+        # The failed call must not leave a half-applied mask behind.
+        assert view.num_active == 6
+        assert view.without([5]).num_active == 5
+
+    def test_is_active_rejects_out_of_range_ids(self):
+        view = small_graph().csr().view()
+        with pytest.raises(ValueError, match="out of range"):
+            view.is_active(-1)
+        with pytest.raises(ValueError, match="out of range"):
+            view.is_active(6)
+        assert view.is_active(5)
+
+    def test_without_negative_id_never_drops_last_node(self):
+        view = small_graph().csr().view()
+        try:
+            view.without([-1])
+        except ValueError:
+            pass
+        assert view.is_active(5)  # the node -1 used to alias
+
     def test_active_filtered_counts_match_subgraph(self):
         graph = random_augmented_graph(30, 60, 40, seed=3)
         keep = [u for u in range(30) if u % 3 != 0]

@@ -66,6 +66,38 @@ class TestInitialPartition:
         with pytest.raises(ValueError):
             initial_partition(graph, MAARConfig(init="oracle"))
 
+    def test_out_of_range_seeds_rejected(self):
+        """Regression: ``sides[-1]`` used to wrap around and silently
+        seed node ``num_nodes - 1`` instead of failing."""
+        graph = AugmentedSocialGraph.from_edges(4, rejections=[(0, 2)])
+        with pytest.raises(ValueError, match="legit_seeds.*out of range"):
+            initial_partition(graph, MAARConfig(), legit_seeds=[-1])
+        with pytest.raises(ValueError, match="spammer_seeds.*out of range"):
+            initial_partition(graph, MAARConfig(), spammer_seeds=[4])
+        # A negative seed id must not have pinned the aliased last node.
+        p = initial_partition(graph, MAARConfig(init="all_legitimate"))
+        assert p.sides == [0, 0, 0, 0]
+
+    def test_overlapping_seeds_rejected(self):
+        """Regression: a node in both lists used to resolve to
+        SUSPICIOUS merely because the spammer loop ran last."""
+        graph = AugmentedSocialGraph.from_edges(4, rejections=[(0, 2)])
+        with pytest.raises(ValueError, match="both legitimate and spammer"):
+            initial_partition(
+                graph, MAARConfig(), legit_seeds=[1, 2], spammer_seeds=[2]
+            )
+
+    @pytest.mark.parametrize("engine", ["csr", "legacy"])
+    def test_solve_maar_validates_seeds_on_both_engines(self, engine):
+        from repro.core import KLConfig
+
+        graph = AugmentedSocialGraph.from_edges(4, rejections=[(0, 2)])
+        config = MAARConfig(kl=KLConfig(engine=engine))
+        with pytest.raises(ValueError, match="out of range"):
+            solve_maar(graph, config, legit_seeds=[-2])
+        with pytest.raises(ValueError, match="both legitimate and spammer"):
+            solve_maar(graph, config, legit_seeds=[3], spammer_seeds=[3])
+
 
 def spam_graph(n_legit=40, n_fake=10, accepted=2, rejected=8, seed=3):
     import random

@@ -145,6 +145,81 @@ class TestMAARParity:
         assert_maar_results_equal(legacy, new)
 
 
+class TestParallelSweepParity:
+    """Serial vs thread vs process ``k`` sweeps must be bit-identical:
+    same best cut, same per-``k`` candidates, same aggregate KL stats,
+    same Rejecto groups (the reduction replays the serial tie-breaks on
+    ordered worker results)."""
+
+    BACKENDS = ("thread", "process")
+
+    @pytest.mark.parametrize("name", sorted(SCENARIOS))
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_maar_sweep_identical(self, name, backend):
+        graph = canonical(scenario_graph(**SCENARIOS[name]).graph)
+        serial = solve_maar(graph, MAARConfig())
+        parallel = solve_maar(graph, MAARConfig(jobs=2, executor=backend))
+        assert_maar_results_equal(serial, parallel)
+        assert serial.found
+        assert parallel.suspicious_nodes() == serial.suspicious_nodes()
+        assert parallel.stats.passes == serial.stats.passes
+        assert parallel.stats.switches_applied == serial.stats.switches_applied
+        assert parallel.stats.switches_tested == serial.stats.switches_tested
+        assert parallel.stats.objective_history == serial.stats.objective_history
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_seeded_sweep_identical(self, backend):
+        scenario = scenario_graph()
+        graph = canonical(scenario.graph)
+        legit_seeds, spammer_seeds = scenario.sample_seeds(20, 5, seed=11)
+        serial = solve_maar(
+            graph,
+            MAARConfig(),
+            legit_seeds=legit_seeds,
+            spammer_seeds=spammer_seeds,
+        )
+        parallel = solve_maar(
+            graph,
+            MAARConfig(jobs=2, executor=backend),
+            legit_seeds=legit_seeds,
+            spammer_seeds=spammer_seeds,
+        )
+        assert_maar_results_equal(serial, parallel)
+        assert parallel.suspicious_nodes() == serial.suspicious_nodes()
+
+    @pytest.mark.parametrize("name", sorted(SCENARIOS))
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_rejecto_groups_identical(self, name, backend):
+        graph = canonical(scenario_graph(**SCENARIOS[name]).graph)
+        serial = Rejecto().detect(graph)
+        parallel = Rejecto(
+            RejectoConfig(maar=MAARConfig(jobs=2, executor=backend))
+        ).detect(graph)
+        assert parallel.termination == serial.termination
+        assert parallel.rounds_run == serial.rounds_run
+        for old_g, new_g in zip(serial.groups, parallel.groups):
+            assert new_g.members == old_g.members
+            assert new_g.f_cross == old_g.f_cross
+            assert new_g.r_cross == old_g.r_cross
+            assert new_g.k == old_g.k
+            assert new_g.acceptance_rate == pytest.approx(old_g.acceptance_rate)
+        assert parallel.detected() == serial.detected()
+
+    def test_warm_start_falls_back_to_serial_semantics(self):
+        """``warm_start`` couples the k steps; ``jobs`` must not change
+        the result (the sweep ignores the fan-out and stays serial)."""
+        graph = canonical(scenario_graph().graph)
+        serial = solve_maar(graph, MAARConfig(warm_start=True))
+        parallel = solve_maar(graph, MAARConfig(warm_start=True, jobs=2))
+        assert_maar_results_equal(serial, parallel)
+
+    def test_refinement_after_parallel_sweep_identical(self):
+        graph = canonical(scenario_graph().graph)
+        serial = solve_maar(graph, MAARConfig(refine_rounds=2))
+        parallel = solve_maar(graph, MAARConfig(refine_rounds=2, jobs=2))
+        assert_maar_results_equal(serial, parallel)
+
+
 class TestRejectoParity:
     @pytest.mark.parametrize("name", sorted(SCENARIOS))
     def test_detected_groups_identical(self, name):
