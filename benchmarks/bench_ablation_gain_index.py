@@ -21,6 +21,7 @@ from pathlib import Path
 
 import pytest
 
+from benchmeta import bench_metadata
 from repro.attacks import ScenarioConfig, build_scenario
 from repro.core import KLConfig, MAARConfig, Partition, extended_kl, solve_maar
 from repro.core.objectives import LEGITIMATE, SUSPICIOUS
@@ -90,6 +91,7 @@ def run_ablation(rounds=ROUNDS):
 
     speedup = maar_times["legacy"] / maar_times["csr"]
     return {
+        "meta": bench_metadata(),
         "scenario": {
             "num_legit": SCENARIO_CONFIG.num_legit,
             "num_fakes": SCENARIO_CONFIG.num_fakes,

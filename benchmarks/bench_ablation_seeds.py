@@ -6,8 +6,6 @@ seeds on a *hard* scenario (stealth spammers at low request volume,
 where seedless MAAR is unstable) and reports precision.
 """
 
-import pytest
-
 from repro.attacks import ScenarioConfig, build_scenario
 from repro.core import MAARConfig, Rejecto, RejectoConfig
 from repro.experiments import format_series

@@ -1,0 +1,200 @@
+"""Batch kernels vs scalar sweeps, and incremental vs full-rebuild passes.
+
+Two measurement groups at the default attack scale (2000 legitimate
+users + 400 fakes):
+
+* **per-pass init kernels** — the O(V+E) sweeps every KL pass used to
+  open with, timed as the scalar fallback vs the numpy batch kernel:
+  ``gain_deltas`` (bucket/heap gain initialization), ``heap_gains``
+  (float gains for the heap engine), and ``recount_active`` (the
+  counter rebuild every ``PartitionState`` construction pays);
+* **end-to-end solves** — one ``extended_kl`` bucket solve and one heap
+  solve under ``KLConfig(incremental=False)`` (full V+E rebuild every
+  pass, the pre-kernel behaviour) vs the default dirty-frontier
+  incremental mode.
+
+Both modes are bit-identical (asserted here and property-tested in
+``tests/core``); this benchmark records what the identical answer costs.
+Writes ``BENCH_kernels.json`` at the repo root.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_kernels.py          # full
+    PYTHONPATH=src python benchmarks/bench_kernels.py --smoke  # CI
+"""
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+from benchmeta import bench_metadata
+from repro.attacks import ScenarioConfig, build_scenario
+from repro.core import KLConfig
+from repro.core.csr import PartitionState
+from repro.core.kernels import gain_deltas, heap_gains, recount_active
+from repro.core.kl import extended_kl_state
+from repro.core.objectives import LEGITIMATE, SUSPICIOUS
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+OUTPUT_PATH = REPO_ROOT / "BENCH_kernels.json"
+
+FULL_SCALE = (2000, 400)
+SMOKE_SCALE = (400, 80)
+ROUNDS = 5
+
+
+def _best_of(fn, rounds=ROUNDS):
+    best = float("inf")
+    result = None
+    for _ in range(rounds):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def _scenario(num_legit, num_fakes):
+    scenario = build_scenario(
+        ScenarioConfig(num_legit=num_legit, num_fakes=num_fakes)
+    )
+    graph = scenario.graph
+    sides = [
+        SUSPICIOUS if graph.rej_in[u] else LEGITIMATE
+        for u in range(graph.num_nodes)
+    ]
+    return graph, sides
+
+
+def kernel_timings(graph, sides, rounds=ROUNDS):
+    """Scalar fallback vs numpy batch kernel for each per-pass init sweep.
+
+    Both backends share the identical flat storage, so this isolates the
+    sweep itself; the assertions re-verify bit-identical outputs on the
+    benchmark-scale graph.
+    """
+    views = {name: graph.csr(name).view() for name in ("python", "numpy")}
+    timings = {}
+    outputs = {}
+    for name, view in views.items():
+        timings[name] = {}
+        timings[name]["gain_deltas_seconds"], outputs[name, "gd"] = _best_of(
+            lambda view=view: gain_deltas(view, sides), rounds
+        )
+        timings[name]["heap_gains_seconds"], outputs[name, "hg"] = _best_of(
+            lambda view=view: heap_gains(view, sides, 0.3), rounds
+        )
+        timings[name]["recount_seconds"], outputs[name, "rc"] = _best_of(
+            lambda view=view: recount_active(view, sides), rounds
+        )
+    for key in ("gd", "hg", "rc"):
+        assert outputs["python", key] == outputs["numpy", key], key
+    timings["speedup_numpy_over_python"] = {
+        kernel: timings["python"][kernel] / timings["numpy"][kernel]
+        for kernel in timings["python"]
+    }
+    return timings
+
+
+def solve_timings(graph, sides, rounds=ROUNDS, backends=("numpy", "python")):
+    """Full-rebuild vs dirty-frontier incremental end-to-end solves.
+
+    Measured per backend: on numpy the full rebuild is already a cheap
+    batch kernel, so the incremental mode mostly matters on the python
+    backend, where every avoided re-sweep is a scalar O(V+E) pass.
+    """
+    rows = {}
+    for backend in backends:
+        view = graph.csr(backend).view()
+        rows[backend] = {}
+        results = {}
+        for engine, k in (("bucket", 2.0), ("heap", 0.3)):
+            row = rows[backend][engine] = {}
+            for label, incremental in (
+                ("full_rebuild", False),
+                ("incremental", True),
+            ):
+                config = KLConfig(gain_index=engine, incremental=incremental)
+                seconds, result = _best_of(
+                    lambda config=config: extended_kl_state(
+                        PartitionState(view, list(sides)), k, config=config
+                    ),
+                    rounds,
+                )
+                row[f"{label}_seconds"] = seconds
+                results[engine, label] = result
+            row["speedup_incremental"] = (
+                row["full_rebuild_seconds"] / row["incremental_seconds"]
+            )
+            full = results[engine, "full_rebuild"]
+            inc = results[engine, "incremental"]
+            assert inc.sides == full.sides, (backend, engine)
+            assert (inc.f_cross, inc.r_cross) == (
+                full.f_cross,
+                full.r_cross,
+            ), (backend, engine)
+    return rows
+
+
+def run_report(smoke=False, rounds=ROUNDS):
+    num_legit, num_fakes = SMOKE_SCALE if smoke else FULL_SCALE
+    graph, sides = _scenario(num_legit, num_fakes)
+    return {
+        "meta": bench_metadata(),
+        "smoke": smoke,
+        "rounds": rounds,
+        "scenario": {
+            "num_legit": num_legit,
+            "num_fakes": num_fakes,
+            "nodes": graph.num_nodes,
+            "friendships": graph.num_friendships,
+            "rejections": graph.num_rejections,
+        },
+        "per_pass_init": kernel_timings(graph, sides, rounds),
+        "kl_single_solve": solve_timings(graph, sides, rounds),
+    }
+
+
+def write_report(payload):
+    OUTPUT_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return OUTPUT_PATH
+
+
+def bench_kernels(benchmark):
+    """pytest-benchmark entry: smoke scale, vectorized == scalar."""
+    payload = benchmark.pedantic(
+        run_report, kwargs={"smoke": True, "rounds": 2}, rounds=1, iterations=1
+    )
+    assert payload["per_pass_init"]["python"]["gain_deltas_seconds"] > 0
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small scale, 2 rounds (CI rot check; does not overwrite "
+        "a full report)",
+    )
+    args = parser.parse_args(argv)
+    try:
+        import numpy  # noqa: F401
+    except ImportError:
+        # The pure-python CI job still smoke-tests the solve paths; the
+        # backend comparison needs numpy.
+        graph, sides = _scenario(*SMOKE_SCALE)
+        solve_timings(graph, sides, rounds=2, backends=("python",))
+        print("numpy unavailable: solve smoke ok (kernel comparison skipped)")
+        return 0
+    payload = run_report(smoke=args.smoke, rounds=2 if args.smoke else ROUNDS)
+    print(json.dumps(payload, indent=2, sort_keys=True))
+    if args.smoke:
+        print("\nsmoke run ok (report not written)")
+        return 0
+    path = write_report(payload)
+    print(f"\nwrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

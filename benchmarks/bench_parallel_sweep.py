@@ -29,6 +29,7 @@ import os
 import time
 from pathlib import Path
 
+from benchmeta import bench_metadata
 from repro.attacks import ScenarioConfig, build_scenario
 from repro.core import MAARConfig, geometric_k_sequence, solve_maar
 from repro.core.parallel import fork_available, resolve_executor
@@ -127,6 +128,7 @@ def run_report(smoke=False):
     scales = SMOKE_SCALES if smoke else FULL_SCALES
     workers = SMOKE_WORKERS if smoke else FULL_WORKERS
     return {
+        "meta": bench_metadata(),
         "smoke": smoke,
         "cpu_count": os.cpu_count(),
         "fork_available": fork_available(),

@@ -19,6 +19,7 @@ import json
 import time
 from pathlib import Path
 
+from benchmeta import bench_metadata
 from repro.attacks import ScenarioConfig, build_scenario
 from repro.core import KLConfig, MAARConfig, solve_maar
 from repro.experiments import ScalingConfig, scaling_study
@@ -75,6 +76,7 @@ def run_table2():
         for row in study.rows
     ]
     return {
+        "meta": bench_metadata(),
         "cluster_scaling": cluster_rows,
         "engine_scaling": run_engine_scaling(),
     }

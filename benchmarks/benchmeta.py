@@ -1,0 +1,32 @@
+"""Shared environment metadata for the ``BENCH_*.json`` writers.
+
+Benchmark numbers are meaningless without the environment that produced
+them: which CSR backend ``"auto"`` resolved to, how many cores the
+parallel sweeps could use, and which numpy (if any) ran the batch
+kernels. Every writer embeds :func:`bench_metadata` under a ``"meta"``
+key so regenerated reports stay comparable across machines.
+
+(The module is deliberately named ``benchmeta`` — not ``bench_meta`` —
+so pytest's ``bench_*.py`` collection pattern skips it.)
+"""
+
+import os
+import platform
+
+from repro.core.csr import resolve_backend
+
+
+def bench_metadata() -> dict:
+    """Environment fingerprint recorded in every ``BENCH_*.json``."""
+    try:
+        import numpy
+
+        numpy_version = numpy.__version__
+    except ImportError:  # pragma: no cover - numpy is an optional dep
+        numpy_version = None
+    return {
+        "backend": resolve_backend("auto"),
+        "cpu_count": os.cpu_count(),
+        "numpy_version": numpy_version,
+        "python_version": platform.python_version(),
+    }

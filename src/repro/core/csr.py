@@ -29,18 +29,23 @@ Backend convention
 is always the stdlib ``array("q")`` / ``array("d")`` flat buffers (one
 canonical representation keeps the two backends bit-identical); the
 ``"numpy"`` backend additionally exposes zero-copy ``int64``/``float64``
-views over those buffers via :meth:`CSRGraph.numpy_arrays` for vectorized
-consumers. The pure-Python hot loops deliberately run on cached ``list``
-views (:meth:`CSRGraph.hot`): CPython indexes plain lists faster than either
-``array`` or numpy scalars.
+views over those buffers via :meth:`CSRGraph.numpy_arrays` (plus cached
+per-slot row ids via :meth:`CSRGraph.numpy_rows`), which is what the batch
+kernels of :mod:`repro.core.kernels` run on. The pure-Python hot loops
+deliberately run on cached ``list`` views (:meth:`CSRGraph.hot`): CPython
+indexes plain lists faster than either ``array`` or numpy scalars. The
+``REPRO_BACKEND`` environment variable pins the ``"auto"`` resolution
+(e.g. ``REPRO_BACKEND=python`` in CI keeps the scalar fallbacks covered).
 """
 
 from __future__ import annotations
 
+import os
 from array import array
 from bisect import bisect_left
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
+from .kernels import recount_active, scaled_gain_bound
 from .objectives import (
     LEGITIMATE,
     SUSPICIOUS,
@@ -63,9 +68,16 @@ def resolve_backend(backend: str) -> str:
     """Normalize a ``backend`` request to ``"python"`` or ``"numpy"``.
 
     ``"auto"`` prefers numpy when importable, matching the convention of
-    :mod:`repro.baselines.linalg`. Unknown names raise ``ValueError``.
+    :mod:`repro.baselines.linalg`; the ``REPRO_BACKEND`` environment
+    variable overrides the ``"auto"`` resolution (CI pins it to
+    ``"python"`` to keep the scalar fallbacks covered on hosts where
+    numpy is installed). Explicit requests are never overridden.
+    Unknown names raise ``ValueError``.
     """
     if backend == "auto":
+        override = os.environ.get("REPRO_BACKEND")
+        if override and override != "auto":
+            return resolve_backend(override)
         return "numpy" if _numpy_available() else "python"
     if backend in ("python", "numpy"):
         if backend == "numpy" and not _numpy_available():
@@ -147,6 +159,7 @@ class CSRGraph:
         "_hot_cache",
         "_hot_wt_cache",
         "_np_cache",
+        "_bound_cache",
     )
 
     def __init__(
@@ -172,6 +185,7 @@ class CSRGraph:
         self._hot_cache: Optional[Tuple[List[int], ...]] = None
         self._hot_wt_cache: Optional[Tuple[List[float], ...]] = None
         self._np_cache: Optional[Dict[str, object]] = None
+        self._bound_cache: Dict[Tuple[int, int], int] = {}
 
     # ------------------------------------------------------------------
     # Construction
@@ -298,6 +312,38 @@ class CSRGraph:
             self._np_cache = cache
         return cache
 
+    def numpy_rows(self) -> Tuple[object, object, object]:
+        """Cached per-slot *row* index arrays ``(f_row, ro_row, ri_row)``
+        — the inverse of the ``ptr`` compression, i.e. ``f_row[i]`` is
+        the node whose adjacency row holds slot ``i``. The batch kernels
+        pair them with the ``idx`` arrays to evaluate per-edge terms
+        without any per-row Python loop."""
+        cache = self.numpy_arrays()
+        if "f_row" not in cache:
+            import numpy as np
+
+            ids = np.arange(self.num_nodes, dtype=np.int64)
+            cache["f_row"] = np.repeat(ids, np.diff(cache["f_ptr"]))
+            cache["ro_row"] = np.repeat(ids, np.diff(cache["ro_ptr"]))
+            cache["ri_row"] = np.repeat(ids, np.diff(cache["ri_ptr"]))
+        return cache["f_row"], cache["ro_row"], cache["ri_row"]
+
+    def bucket_gain_bound(self, resolution: int, k_scaled: int) -> int:
+        """Memoized :func:`repro.core.kernels.scaled_gain_bound`.
+
+        The bound is pass-invariant *and* view-invariant (full-graph
+        degrees dominate active-filtered ones), so one entry per
+        ``(resolution, k_scaled)`` serves every pass of every KL solve
+        at that ``k`` — the whole MAAR ``k``-sweep and all of Rejecto's
+        residual rounds share this cache instead of re-scanning O(V)
+        degrees per ``_run_bucket_passes`` call."""
+        key = (resolution, k_scaled)
+        bound = self._bound_cache.get(key)
+        if bound is None:
+            bound = scaled_gain_bound(self, resolution, k_scaled)
+            self._bound_cache[key] = bound
+        return bound
+
     # ------------------------------------------------------------------
     # Queries (builder-compatible surface)
     # ------------------------------------------------------------------
@@ -395,6 +441,7 @@ class CSRGraph:
         self._hot_cache = None
         self._hot_wt_cache = None
         self._np_cache = None
+        self._bound_cache = {}
 
     def view(self) -> "CSRView":
         """An all-active residual view of this graph."""
@@ -421,7 +468,7 @@ class CSRView:
     the iterative detector.
     """
 
-    __slots__ = ("csr", "active", "num_active")
+    __slots__ = ("csr", "active", "num_active", "_hot_active")
 
     def __init__(
         self,
@@ -437,6 +484,50 @@ class CSRView:
             num_active = sum(active)
         self.active = active
         self.num_active = num_active
+        self._hot_active: Optional[Tuple[List[int], ...]] = None
+
+    def hot_active(self) -> Tuple[List[int], ...]:
+        """Active-filtered plain-list CSR adjacency, cached on the view.
+
+        Same ``(f_ptr, f_idx, ro_ptr, ro_idx, ri_ptr, ri_idx)`` shape as
+        :meth:`CSRGraph.hot` but with inactive neighbours dropped from
+        the index arrays, so the bucket engine's hot loops need no
+        per-edge active checks. Filtering preserves relative order —
+        every retained entry is visited in the same sequence as with the
+        mask checks, so engines on either representation are
+        bit-identical. All-active views return :meth:`CSRGraph.hot`
+        as-is (zero cost); residual views pay one O(V+E) build shared
+        across every ``k`` of the sweep and every pass. Unweighted use
+        only: the weighted engines index weight arrays positionally,
+        which filtering would misalign.
+        """
+        cached = self._hot_active
+        if cached is None:
+            csr = self.csr
+            if self.num_active == csr.num_nodes:
+                cached = csr.hot()
+            else:
+                active = self.active
+                filtered: List[List[int]] = []
+                for ptr, idx in (
+                    (csr.f_ptr, csr.f_idx),
+                    (csr.ro_ptr, csr.ro_idx),
+                    (csr.ri_ptr, csr.ri_idx),
+                ):
+                    new_ptr = [0] * (csr.num_nodes + 1)
+                    new_idx: List[int] = []
+                    append = new_idx.append
+                    for u in range(csr.num_nodes):
+                        for i in range(ptr[u], ptr[u + 1]):
+                            v = idx[i]
+                            if active[v]:
+                                append(v)
+                        new_ptr[u + 1] = len(new_idx)
+                    filtered.append(new_ptr)
+                    filtered.append(new_idx)
+                cached = tuple(filtered)
+            self._hot_active = cached
+        return cached
 
     def _check_node(self, u: int) -> None:
         """Reject out-of-range ids. Without this, ``active[-1]`` would
@@ -526,45 +617,39 @@ class PartitionState:
         self.recount()
 
     def recount(self) -> None:
-        """Recompute the counters and side sizes from scratch (O(V+E))."""
+        """Recompute the counters and side sizes from scratch (O(V+E)).
+
+        Unweighted graphs route through
+        :func:`repro.core.kernels.recount_active` (vectorized on the
+        numpy backend, scalar otherwise — bit-identical either way);
+        weighted coarse graphs keep the inline scalar sweep so float
+        summation order stays fixed.
+        """
         view = self.view
         csr, active, sides = view.csr, view.active, self.sides
         fp, fi, op, oi = csr.f_ptr, csr.f_idx, csr.ro_ptr, csr.ro_idx
         weights = csr.hot_weights()
         ones = 0
         if weights is None:
-            f_cross = r_cross = 0
-            for u in range(csr.num_nodes):
-                if not active[u]:
-                    continue
-                s = sides[u]
-                ones += s
-                for i in range(fp[u], fp[u + 1]):
-                    v = fi[i]
-                    if u < v and active[v] and sides[v] != s:
-                        f_cross += 1
-                if s == LEGITIMATE:
-                    for i in range(op[u], op[u + 1]):
-                        v = oi[i]
-                        if active[v] and sides[v] == SUSPICIOUS:
-                            r_cross += 1
-        else:
-            fw, ow, _ = weights
-            f_cross = r_cross = 0.0
-            for u in range(csr.num_nodes):
-                if not active[u]:
-                    continue
-                s = sides[u]
-                ones += s
-                for i in range(fp[u], fp[u + 1]):
-                    v = fi[i]
-                    if u < v and active[v] and sides[v] != s:
-                        f_cross += fw[i]
-                if s == LEGITIMATE:
-                    for i in range(op[u], op[u + 1]):
-                        v = oi[i]
-                        if active[v] and sides[v] == SUSPICIOUS:
-                            r_cross += ow[i]
+            self.f_cross, self.r_cross, ones = recount_active(view, sides)
+            self.side_sizes = [view.num_active - ones, ones]
+            return
+        fw, ow, _ = weights
+        f_cross = r_cross = 0.0
+        for u in range(csr.num_nodes):
+            if not active[u]:
+                continue
+            s = sides[u]
+            ones += s
+            for i in range(fp[u], fp[u + 1]):
+                v = fi[i]
+                if u < v and active[v] and sides[v] != s:
+                    f_cross += fw[i]
+            if s == LEGITIMATE:
+                for i in range(op[u], op[u + 1]):
+                    v = oi[i]
+                    if active[v] and sides[v] == SUSPICIOUS:
+                        r_cross += ow[i]
         self.f_cross = f_cross
         self.r_cross = r_cross
         self.side_sizes = [view.num_active - ones, ones]

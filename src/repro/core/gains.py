@@ -24,7 +24,7 @@ other and against a naive dictionary scan.
 from __future__ import annotations
 
 import heapq
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 __all__ = ["GainIndex", "BucketGainIndex", "HeapGainIndex", "make_gain_index"]
 
@@ -35,6 +35,17 @@ class GainIndex:
     def insert(self, node: int, gain: float) -> None:
         """Add ``node`` with the given gain. The node must not be present."""
         raise NotImplementedError
+
+    def bulk_load(self, items: Iterable[Tuple[int, float]]) -> None:
+        """Insert many ``(node, gain)`` pairs at once.
+
+        Equivalent to sequential :meth:`insert` calls in iteration order
+        — same contents, same pop order. Subclasses may override with a
+        faster batch build (the heap heapifies instead of sifting each
+        push).
+        """
+        for node, gain in items:
+            self.insert(node, gain)
 
     def adjust(self, node: int, delta: float) -> None:
         """Add ``delta`` to the gain of a present ``node``."""
@@ -238,6 +249,22 @@ class HeapGainIndex(GainIndex):
             raise ValueError(f"node {node} already present")
         self._gain[node] = gain
         self._push(node, gain)
+
+    def bulk_load(self, items: Iterable[Tuple[int, float]]) -> None:
+        # One O(m) heapify instead of m O(log m) sift-ups. Entry ids
+        # are assigned in iteration order, so every heap key is unique
+        # and the pop order is identical to sequential inserts.
+        heap = self._heap
+        gain_map = self._gain
+        eid = self._entry_id
+        for node, gain in items:
+            if node in gain_map:
+                raise ValueError(f"node {node} already present")
+            gain_map[node] = gain
+            eid += 1
+            heap.append((-gain, -eid, node))
+        self._entry_id = eid
+        heapq.heapify(heap)
 
     def adjust(self, node: int, delta: float) -> None:
         if node not in self._gain:

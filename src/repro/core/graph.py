@@ -59,6 +59,7 @@ class AugmentedSocialGraph:
         "_friend_set",
         "_rej_set",
         "_csr_cache",
+        "_deg_maxima",
     )
 
     def __init__(self, num_nodes: int) -> None:
@@ -74,6 +75,7 @@ class AugmentedSocialGraph:
         self._friend_set: set = set()
         self._rej_set: set = set()
         self._csr_cache = None
+        self._deg_maxima = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -108,6 +110,7 @@ class AugmentedSocialGraph:
         self.rej_in.append([])
         self.num_nodes += 1
         self._csr_cache = None
+        self._deg_maxima = None
         return self.num_nodes - 1
 
     def add_nodes(self, count: int) -> List[int]:
@@ -133,6 +136,7 @@ class AugmentedSocialGraph:
         self.friends[u].append(v)
         self.friends[v].append(u)
         self._csr_cache = None
+        self._deg_maxima = None
         return True
 
     def add_rejection(self, rejecter: int, sender: int) -> bool:
@@ -152,6 +156,7 @@ class AugmentedSocialGraph:
         self.rej_out[rejecter].append(sender)
         self.rej_in[sender].append(rejecter)
         self._csr_cache = None
+        self._deg_maxima = None
         return True
 
     # ------------------------------------------------------------------
@@ -201,6 +206,28 @@ class AugmentedSocialGraph:
     def nodes(self) -> range:
         """All node ids."""
         return range(self.num_nodes)
+
+    def degree_maxima(self) -> Tuple[int, int]:
+        """``(max friend degree, max total rejection degree)``.
+
+        Memoized until the next mutation, so the legacy ``k``-sweep's
+        per-``k`` gain bound ``max_F + k·max_R`` costs O(1) instead of
+        an O(V) scan per ``k`` value.
+        """
+        maxima = self._deg_maxima
+        if maxima is None:
+            maxima = (
+                max((len(adj) for adj in self.friends), default=0),
+                max(
+                    (
+                        len(self.rej_out[u]) + len(self.rej_in[u])
+                        for u in range(self.num_nodes)
+                    ),
+                    default=0,
+                ),
+            )
+            self._deg_maxima = maxima
+        return maxima
 
     # ------------------------------------------------------------------
     # Finalization

@@ -1,0 +1,294 @@
+"""Batch kernels over the flat CSR arrays.
+
+Every KL pass used to open with a scalar O(V+E) sweep — initial switch
+gains for all unlocked nodes, plus a from-scratch recount whenever a
+:class:`~repro.core.csr.PartitionState` is built. Those sweeps are
+*embarrassingly per-edge*: each edge slot contributes an independent
+±1/±k term to its row's total, which is exactly the shape numpy's
+segment reductions handle in a handful of whole-array operations. This
+module collects those batch kernels in one place:
+
+* :func:`gain_deltas` — per-node friend-delta and rejection-delta (the
+  two integers every gain formula is assembled from);
+* :func:`heap_gains` — per-node float gains ``-(fd − k·rd)`` for the
+  heap engine;
+* :func:`recount_active` — the boundary counters ``f_cross``/``r_cross``
+  and the side-1 population in one shot;
+* :func:`active_in_rejections` — in-rejection counts restricted to
+  active rejecters (Rejecto's member-evidence ordering);
+* :func:`scaled_gain_bound` — the integer-scaled lifetime gain bound
+  that sizes the FM bucket array.
+
+Dispatch follows the graph's ``backend`` attribute: ``"numpy"`` runs the
+vectorized ``_np`` variants over zero-copy ``frombuffer`` views,
+``"python"`` runs the scalar ``_py`` fallbacks. Both produce
+**bit-identical** results — all quantities are integers (or single
+float expressions over integers, identical elementwise in IEEE double),
+so the engines never see which backend filled their arrays. The
+property tests in ``tests/core/test_kernels.py`` pin each pair to each
+other and to the scalar reference ``PartitionState.switch_gain``.
+
+All kernels are unweighted-only: the weighted multilevel coarse graphs
+keep their scalar paths, where float summation *order* matters for
+reproducibility.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+__all__ = [
+    "gain_deltas",
+    "heap_gains",
+    "recount_active",
+    "active_in_rejections",
+    "scaled_gain_bound",
+]
+
+
+def _check_unweighted(csr) -> None:
+    if csr.f_wt is not None:
+        raise ValueError(
+            "batch kernels are unweighted-only; weighted coarse graphs "
+            "use the scalar paths (float summation order is part of "
+            "their contract)"
+        )
+
+
+def _use_numpy(csr) -> bool:
+    return csr.backend == "numpy"
+
+
+def _np_state(view):
+    """Numpy views of the CSR arrays plus the active mask and row ids."""
+    import numpy as np
+
+    csr = view.csr
+    arrs = csr.numpy_arrays()
+    rows = csr.numpy_rows()
+    active = np.frombuffer(view.active, dtype=np.uint8).astype(bool)
+    return np, arrs, rows, active
+
+
+def _segment_sums(np, contrib, ptr):
+    """Per-row sums of ``contrib`` under CSR ``ptr`` (empty rows -> 0)."""
+    cumulative = np.zeros(len(contrib) + 1, dtype=np.int64)
+    np.cumsum(contrib, out=cumulative[1:])
+    return cumulative[ptr[1:]] - cumulative[ptr[:-1]]
+
+
+# ----------------------------------------------------------------------
+# Gain deltas
+# ----------------------------------------------------------------------
+def gain_deltas(view, sides: Sequence[int]) -> Tuple[List[int], List[int]]:
+    """Per-node ``(friend_delta, rejection_delta)`` of a switch.
+
+    ``friend_delta[u]`` counts active friends on ``u``'s side minus
+    active friends on the other side; ``rejection_delta[u]`` is
+    ``(2·side(u)−1) · (out_susp(u) − in_legit(u))`` — the two integers
+    the engines combine into ``gain(u) = -(fd − k·rd)`` and the scaled
+    bucket index ``k_scaled·rd − fd·res``. Entries for inactive nodes
+    are 0; entries for locked nodes are computed like any other (locks
+    are the caller's concern).
+    """
+    csr = view.csr
+    _check_unweighted(csr)
+    if _use_numpy(csr):
+        return _gain_deltas_np(view, sides)
+    return _gain_deltas_py(view, sides)
+
+
+def _gain_deltas_np(view, sides: Sequence[int]) -> Tuple[List[int], List[int]]:
+    np, arrs, rows, active = _np_state(view)
+    sides_np = np.asarray(sides, dtype=np.int64)
+    f_row, ro_row, ri_row = rows
+
+    act_v = active[arrs["f_idx"]]
+    same = sides_np[arrs["f_idx"]] == sides_np[f_row]
+    contrib = np.where(act_v, np.where(same, 1, -1), 0).astype(np.int64)
+    fd = _segment_sums(np, contrib, arrs["f_ptr"])
+
+    out_susp = _segment_sums(
+        np,
+        (active[arrs["ro_idx"]] & (sides_np[arrs["ro_idx"]] == 1)).astype(np.int64),
+        arrs["ro_ptr"],
+    )
+    in_legit = _segment_sums(
+        np,
+        (active[arrs["ri_idx"]] & (sides_np[arrs["ri_idx"]] == 0)).astype(np.int64),
+        arrs["ri_ptr"],
+    )
+    rd = (2 * sides_np - 1) * (out_susp - in_legit)
+
+    zero = np.int64(0)
+    fd = np.where(active, fd, zero)
+    rd = np.where(active, rd, zero)
+    return fd.tolist(), rd.tolist()
+
+
+def _gain_deltas_py(view, sides: Sequence[int]) -> Tuple[List[int], List[int]]:
+    csr = view.csr
+    fp, fi, op, oi, ip_, ii = csr.hot()
+    active = view.active
+    n = csr.num_nodes
+    fd = [0] * n
+    rd = [0] * n
+    for u in range(n):
+        if not active[u]:
+            continue
+        s = sides[u]
+        acc = 0
+        for i in range(fp[u], fp[u + 1]):
+            v = fi[i]
+            if active[v]:
+                acc += 1 if sides[v] == s else -1
+        fd[u] = acc
+        acc = 0
+        if s:
+            for i in range(op[u], op[u + 1]):
+                v = oi[i]
+                if active[v] and sides[v]:
+                    acc += 1
+            for i in range(ip_[u], ip_[u + 1]):
+                w = ii[i]
+                if active[w] and not sides[w]:
+                    acc -= 1
+        else:
+            for i in range(op[u], op[u + 1]):
+                v = oi[i]
+                if active[v] and sides[v]:
+                    acc -= 1
+            for i in range(ip_[u], ip_[u + 1]):
+                w = ii[i]
+                if active[w] and not sides[w]:
+                    acc += 1
+        rd[u] = acc
+    return fd, rd
+
+
+def heap_gains(view, sides: Sequence[int], k: float) -> List[float]:
+    """Per-node float gains ``-(fd − k·rd)``, the heap engine's initial
+    index content. Bit-identical to ``PartitionState.switch_gain`` on
+    active nodes: both evaluate the same single IEEE-double expression
+    over the same integers."""
+    fd, rd = gain_deltas(view, sides)
+    return [-(fd[u] - k * rd[u]) for u in range(len(fd))]
+
+
+# ----------------------------------------------------------------------
+# Boundary counters
+# ----------------------------------------------------------------------
+def recount_active(view, sides: Sequence[int]) -> Tuple[int, int, int]:
+    """``(f_cross, r_cross, side1_population)`` over the active mask.
+
+    ``f_cross`` counts active-active cross friendships once per
+    unordered pair; ``r_cross`` counts rejections cast by active side-0
+    nodes onto active side-1 nodes — the exact quantities
+    :meth:`PartitionState.recount` re-derives.
+    """
+    csr = view.csr
+    _check_unweighted(csr)
+    if _use_numpy(csr):
+        return _recount_np(view, sides)
+    return _recount_py(view, sides)
+
+
+def _recount_np(view, sides: Sequence[int]) -> Tuple[int, int, int]:
+    np, arrs, rows, active = _np_state(view)
+    sides_np = np.asarray(sides, dtype=np.int64)
+    f_row, ro_row, _ = rows
+    f_idx, ro_idx = arrs["f_idx"], arrs["ro_idx"]
+    f_cross = int(
+        np.count_nonzero(
+            (f_row < f_idx)
+            & active[f_row]
+            & active[f_idx]
+            & (sides_np[f_row] != sides_np[f_idx])
+        )
+    )
+    r_cross = int(
+        np.count_nonzero(
+            active[ro_row]
+            & active[ro_idx]
+            & (sides_np[ro_row] == 0)
+            & (sides_np[ro_idx] == 1)
+        )
+    )
+    ones = int(np.count_nonzero(active & (sides_np == 1)))
+    return f_cross, r_cross, ones
+
+
+def _recount_py(view, sides: Sequence[int]) -> Tuple[int, int, int]:
+    csr = view.csr
+    fp, fi, op, oi, _, _ = csr.hot()
+    active = view.active
+    f_cross = r_cross = ones = 0
+    for u in range(csr.num_nodes):
+        if not active[u]:
+            continue
+        s = sides[u]
+        ones += s
+        for i in range(fp[u], fp[u + 1]):
+            v = fi[i]
+            if u < v and active[v] and sides[v] != s:
+                f_cross += 1
+        if s == 0:
+            for i in range(op[u], op[u + 1]):
+                v = oi[i]
+                if active[v] and sides[v] == 1:
+                    r_cross += 1
+    return f_cross, r_cross, ones
+
+
+def active_in_rejections(view) -> List[int]:
+    """Per-node in-rejection counts restricted to active rejecters —
+    ``view.rejections_received(u)`` for every node in one sweep."""
+    csr = view.csr
+    _check_unweighted(csr)
+    if _use_numpy(csr):
+        np, arrs, _, active = _np_state(view)
+        contrib = active[arrs["ri_idx"]].astype(np.int64)
+        return _segment_sums(np, contrib, arrs["ri_ptr"]).tolist()
+    _, _, _, _, ip_, ii = csr.hot()
+    active = view.active
+    return [
+        sum(1 for i in range(ip_[u], ip_[u + 1]) if active[ii[i]])
+        for u in range(csr.num_nodes)
+    ]
+
+
+# ----------------------------------------------------------------------
+# Gain bounds
+# ----------------------------------------------------------------------
+def scaled_gain_bound(csr, resolution: int, k_scaled: int) -> int:
+    """Graph-wide bound on the integer-scaled gain magnitude,
+    ``max_u deg_F(u)·res + k_scaled·deg_R(u)``.
+
+    Computed over *all* nodes: full-graph degrees bound the
+    active-filtered ones, so one cached value stays valid for every
+    residual view and every pass of a solve (a looser bound only sizes
+    the bucket array — it never changes pop order, because gains are
+    offset-shifted uniformly). Prefer :meth:`CSRGraph.bucket_gain_bound`,
+    which memoizes this per ``(resolution, k_scaled)`` across the whole
+    ``k``-sweep and Rejecto's rounds.
+    """
+    _check_unweighted(csr)
+    if csr.num_nodes == 0:
+        return 0
+    if _use_numpy(csr):
+        import numpy as np
+
+        arrs = csr.numpy_arrays()
+        weight = np.diff(arrs["f_ptr"]) * resolution + k_scaled * (
+            np.diff(arrs["ro_ptr"]) + np.diff(arrs["ri_ptr"])
+        )
+        return int(weight.max())
+    fp, _, op, _, ip_, _ = csr.hot()
+    bound = 0
+    for u in range(csr.num_nodes):
+        weight = (fp[u + 1] - fp[u]) * resolution + k_scaled * (
+            (op[u + 1] - op[u]) + (ip_[u + 1] - ip_[u])
+        )
+        if weight > bound:
+            bound = weight
+    return bound

@@ -45,11 +45,12 @@ is asserted in ``tests/core/test_parity.py``):
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Set
 
 from .csr import PartitionState
 from .gains import HeapGainIndex, _on_grid, make_gain_index
 from .graph import AugmentedSocialGraph
+from .kernels import gain_deltas, heap_gains
 from .partition import Partition
 
 __all__ = [
@@ -89,6 +90,15 @@ class KLConfig:
         ``"csr"`` (default) runs on the flat-array CSR core;
         ``"legacy"`` runs the original list-of-lists loop. Both produce
         identical results on sorted-adjacency inputs.
+    incremental:
+        When ``True`` (default), passes after the first rebuild their
+        gain structure from the *dirty frontier* — the previous pass's
+        applied prefix plus its neighbours, the only nodes whose
+        start-of-pass gains can have changed — instead of re-sweeping
+        all V+E edges. Bit-identical to the full rebuild (gains are
+        recomputed to the same integers/floats and re-inserted in the
+        same ascending node order); ``False`` forces the full O(V+E)
+        re-sweep every pass, kept as the parity/benchmark reference.
     """
 
     gain_index: str = "auto"
@@ -96,6 +106,7 @@ class KLConfig:
     max_passes: int = 30
     stall_limit: Optional[int] = None
     engine: str = "csr"
+    incremental: bool = True
 
 
 @dataclass
@@ -173,10 +184,21 @@ def _run_bucket_passes(
     neighbour bucket relinks — one sweep per incident edge, no function
     calls — which is where the end-to-end speedup over the legacy engine
     comes from (see ``BENCH_gain_index.json``).
+
+    Pass-invariant setup (the gain bound) comes memoized from
+    :meth:`CSRGraph.bucket_gain_bound`; pass 1 fills the start-of-pass
+    bucket indices with the batch :func:`gain_deltas` kernel, and later
+    passes refresh only the previous pass's dirty frontier (see
+    ``KLConfig.incremental``). The full-graph bound can exceed the old
+    active-only one on residual views — that only offset-shifts every
+    bucket index uniformly, so pop order and recorded gains (``b −
+    offset``) are untouched.
     """
     view = state.view
     csr = view.csr
-    fp, fi, op, oi, ip_, ii = csr.hot()
+    # Active-filtered adjacency: every neighbour in these arrays is
+    # active, so the hot loops below carry no per-edge mask checks.
+    fp, fi, op, oi, ip_, ii = view.hot_active()
     active = view.active
     sides = state.sides
     locked = state.locked
@@ -188,22 +210,62 @@ def _run_bucket_passes(
     r_cross = state.r_cross
     stall_limit = config.stall_limit
 
-    bound = 0
-    for u in range(n):
-        if active[u]:
-            w = (fp[u + 1] - fp[u]) * res + k_scaled * (
-                (op[u + 1] - op[u]) + (ip_[u + 1] - ip_[u])
-            )
-            if w > bound:
-                bound = w
+    bound = csr.bucket_gain_bound(res, k_scaled)
     offset = bound + 1
     num_buckets = 2 * bound + 3
     absent = -1
+
+    eligible = [u for u in range(n) if active[u] and not locked[u]]
+    gain_b: Optional[List[int]] = None  # start-of-pass bucket index per node
+    dirty: Optional[Set[int]] = None  # None -> full rebuild
 
     for _ in range(config.max_passes):
         if stats is not None:
             stats.passes += 1
             stats.objective_history.append(f_cross - k * r_cross)
+
+        # Refresh start-of-pass bucket indices. Pass 1 (and the
+        # non-incremental reference mode) rebuilds every eligible node
+        # via the batch kernel; later passes recompute only the dirty
+        # frontier — identical integers either way. On the numpy backend
+        # a large frontier flips back to the batch kernel (a pure-speed
+        # choice: both paths produce the same values).
+        if (
+            gain_b is None
+            or dirty is None
+            or (csr.backend == "numpy" and 4 * len(dirty) > len(eligible))
+        ):
+            fd_all, rd_all = gain_deltas(view, sides)
+            if gain_b is None:
+                gain_b = [0] * n
+            for u in eligible:
+                gain_b[u] = k_scaled * rd_all[u] - fd_all[u] * res + offset
+        else:
+            # dirty ⊆ active (the prefix is eligible, the frontier comes
+            # from the filtered adjacency), so only locks need checking.
+            for u in dirty:
+                if locked[u]:
+                    continue
+                s = sides[u]
+                fd = 0
+                for v in fi[fp[u] : fp[u + 1]]:
+                    fd += 1 if sides[v] == s else -1
+                rd = 0
+                if s:
+                    for v in oi[op[u] : op[u + 1]]:
+                        if sides[v]:
+                            rd += 1
+                    for w in ii[ip_[u] : ip_[u + 1]]:
+                        if not sides[w]:
+                            rd -= 1
+                else:
+                    for v in oi[op[u] : op[u + 1]]:
+                        if sides[v]:
+                            rd -= 1
+                    for w in ii[ip_[u] : ip_[u + 1]]:
+                        if not sides[w]:
+                            rd += 1
+                gain_b[u] = k_scaled * rd - fd * res + offset
 
         heads = [absent] * num_buckets
         nxt = [absent] * n
@@ -212,40 +274,13 @@ def _run_bucket_passes(
         max_b = -1
         size = 0
 
-        # Initial gains, inserted in ascending node order (the legacy
-        # discipline — LIFO within each bucket).
-        for u in range(n):
-            if not active[u] or locked[u]:
-                continue
-            s = sides[u]
-            fd = 0
-            for i in range(fp[u], fp[u + 1]):
-                v = fi[i]
-                if active[v]:
-                    fd += 1 if sides[v] == s else -1
-            rd = 0
-            if s:
-                for i in range(op[u], op[u + 1]):
-                    v = oi[i]
-                    if active[v] and sides[v]:
-                        rd += 1
-                for i in range(ip_[u], ip_[u + 1]):
-                    w = ii[i]
-                    if active[w] and not sides[w]:
-                        rd -= 1
-            else:
-                for i in range(op[u], op[u + 1]):
-                    v = oi[i]
-                    if active[v] and sides[v]:
-                        rd -= 1
-                for i in range(ip_[u], ip_[u + 1]):
-                    w = ii[i]
-                    if active[w] and not sides[w]:
-                        rd += 1
-            b = k_scaled * rd - fd * res + offset
+        # Insert in ascending node order (the legacy discipline — LIFO
+        # within each bucket). The lists above are fresh, so only the
+        # displaced head needs a prv write.
+        for u in eligible:
+            b = gain_b[u]
             h = heads[b]
             nxt[u] = h
-            prv[u] = absent
             if h >= 0:
                 prv[h] = u
             heads[b] = u
@@ -278,11 +313,9 @@ def _run_bucket_passes(
             rd = 0
             # Fused switch: counter deltas and neighbour bucket relinks in
             # one sweep per edge, in the legacy order (friends, rejections
-            # cast, rejections received).
-            for i in range(fp[u], fp[u + 1]):
-                v = fi[i]
-                if not active[v]:
-                    continue
+            # cast, rejections received). Slice iteration over the
+            # filtered adjacency — no index arithmetic, no mask checks.
+            for v in fi[fp[u] : fp[u + 1]]:
                 if sides[v] == s:
                     fd += 1
                     d = two_res
@@ -317,10 +350,7 @@ def _run_bucket_passes(
                 rs = k_scaled
                 rd_on_susp = -1
                 rd_on_legit = 1
-            for i in range(op[u], op[u + 1]):
-                v = oi[i]
-                if not active[v]:
-                    continue
+            for v in oi[op[u] : op[u + 1]]:
                 if sides[v]:
                     rd += rd_on_susp
                     d = rs
@@ -346,10 +376,7 @@ def _run_bucket_passes(
                     bucket_of[v] = nbv
                     if nbv > max_b:
                         max_b = nbv
-            for i in range(ip_[u], ip_[u + 1]):
-                v = ii[i]
-                if not active[v]:
-                    continue
+            for v in ii[ip_[u] : ip_[u + 1]]:
                 if sides[v]:
                     d = rs
                 else:
@@ -400,6 +427,22 @@ def _run_bucket_passes(
             stats.switches_applied += best_length
         if best_length == 0:
             break
+        if config.incremental and not (
+            csr.backend == "numpy" and 4 * best_length > len(eligible)
+        ):
+            # Rolled-back switches are net no-ops, so only the applied
+            # prefix and its neighbourhood can enter the next pass with
+            # a changed gain. (When the prefix alone already exceeds the
+            # batch-rebuild threshold, skip collecting the frontier —
+            # the next pass rebuilds in full either way.)
+            dirty = set()
+            for u, _, _ in sequence[:best_length]:
+                dirty.add(u)
+                dirty.update(fi[fp[u] : fp[u + 1]])
+                dirty.update(oi[op[u] : op[u + 1]])
+                dirty.update(ii[ip_[u] : ip_[u + 1]])
+        else:
+            dirty = None
 
     state.f_cross = f_cross
     state.r_cross = r_cross
@@ -416,24 +459,51 @@ def _run_heap_passes(
     """The generic engine: lazy-deletion heap gains over the CSR state.
 
     Handles arbitrary float ``k`` (Dinkelbach refinement) and weighted
-    coarse graphs; same greedy discipline as the bucket engine.
+    coarse graphs; same greedy discipline as the bucket engine. Initial
+    gains come from the batch :func:`heap_gains` kernel on the numpy
+    backend (bit-identical — one IEEE-double expression over the same
+    integers) and from ``state.switch_gain`` otherwise; later passes
+    refresh only the dirty frontier. Weighted graphs always take the
+    scalar path, and their dirty refresh is still exact because
+    ``switch_gain`` recomputes from scratch in a fixed summation order.
     """
     view = state.view
+    csr = view.csr
     active = view.active
     sides = state.sides
     locked = state.locked
-    n = view.csr.num_nodes
+    n = csr.num_nodes
     stall_limit = config.stall_limit
+    vectorize = csr.backend == "numpy" and not csr.weighted
+
+    eligible = [u for u in range(n) if active[u] and not locked[u]]
+    gains: Optional[List[float]] = None  # start-of-pass gain per node
+    dirty: Optional[Set[int]] = None  # None -> full rebuild
 
     for _ in range(config.max_passes):
         if stats is not None:
             stats.passes += 1
             stats.objective_history.append(state.objective(k))
 
+        if (
+            gains is None
+            or dirty is None
+            or (vectorize and 4 * len(dirty) > len(eligible))
+        ):
+            if vectorize:
+                gains = heap_gains(view, sides, k)
+            else:
+                if gains is None:
+                    gains = [0.0] * n
+                for u in eligible:
+                    gains[u] = state.switch_gain(u, k)
+        else:
+            for u in dirty:
+                if active[u] and not locked[u]:
+                    gains[u] = state.switch_gain(u, k)
+
         index = HeapGainIndex()
-        for u in range(n):
-            if active[u] and not locked[u]:
-                index.insert(u, state.switch_gain(u, k))
+        index.bulk_load((u, gains[u]) for u in eligible)
 
         sequence: List[int] = []
         cumulative = 0.0
@@ -467,6 +537,18 @@ def _run_heap_passes(
             stats.switches_applied += best_length
         if best_length == 0:
             break
+        if config.incremental and not (
+            vectorize and 4 * best_length > len(eligible)
+        ):
+            fp, fi, op, oi, ip_, ii = csr.hot()
+            dirty = set()
+            for u in sequence[:best_length]:
+                dirty.add(u)
+                dirty.update(fi[fp[u] : fp[u + 1]])
+                dirty.update(oi[op[u] : op[u + 1]])
+                dirty.update(ii[ip_[u] : ip_[u + 1]])
+        else:
+            dirty = None
 
 
 def extended_kl_state(
@@ -525,15 +607,17 @@ def _initial_gains(partition: Partition, k: float, locked: Sequence[bool]):
 
 def _max_abs_gain(graph: AugmentedSocialGraph, k: float) -> float:
     """A lifetime bound on ``|gain(u)|``: each incident friendship edge
-    contributes at most 1 and each incident rejection edge at most k."""
-    bound = 0.0
-    for u in range(graph.num_nodes):
-        weight = len(graph.friends[u]) + k * (
-            len(graph.rej_out[u]) + len(graph.rej_in[u])
-        )
-        if weight > bound:
-            bound = weight
-    return bound
+    contributes at most 1 and each incident rejection edge at most k.
+
+    Derived O(1) from the builder's memoized degree maxima, so the
+    legacy ``k``-sweep stops re-scanning all V nodes per ``k``. The
+    maxima may come from two different nodes, making this bound looser
+    than the old per-node maximum — harmless, since a gain bound only
+    sizes the bucket array (a uniform offset shift) and never alters
+    pop order.
+    """
+    max_f, max_r = graph.degree_maxima()
+    return max_f + k * max_r
 
 
 def _extended_kl_legacy(
@@ -557,8 +641,7 @@ def _extended_kl_legacy(
         index = make_gain_index(
             config.gain_index, n, max_abs, k, resolution=config.resolution
         )
-        for u, gain in _initial_gains(partition, k, locked):
-            index.insert(u, gain)
+        index.bulk_load(_initial_gains(partition, k, locked))
 
         # Tentatively switch nodes in greedy max-gain order, tracking the
         # best cumulative-gain prefix of the switch sequence.

@@ -139,9 +139,10 @@ class MAARConfig:
         same immutable CSR snapshot, so ``jobs > 1`` fans the steps out
         through :mod:`repro.core.parallel` and reduces with the exact
         serial tie-break order — results are bit-identical to ``jobs=1``
-        (property-tested in ``tests/core/test_parity.py``). Ignored
-        when ``warm_start=True`` (the steps are coupled) and on the
-        legacy engine.
+        (property-tested in ``tests/core/test_parity.py``). Ignored —
+        with a ``logger.warning`` naming the reason — when
+        ``warm_start=True`` (the steps are coupled) and on the legacy
+        engine (no parallel sweep there).
     executor:
         Backend for the parallel sweep: ``"auto"`` (process on fork
         platforms, thread otherwise), ``"serial"``, ``"thread"``, or
@@ -335,6 +336,13 @@ def _sweep_candidates(
     parallel paths are indistinguishable to the caller.
     """
     k_values = config.k_values()
+    if config.jobs > 1 and config.warm_start:
+        logger.warning(
+            "MAARConfig(jobs=%d) ignored: warm_start=True couples the k "
+            "steps (each starts from the previous cut), so the sweep "
+            "runs serially",
+            config.jobs,
+        )
     if config.jobs > 1 and not config.warm_start and len(k_values) > 1:
         outcomes = parallel_map(
             _sweep_k_task,
@@ -507,6 +515,12 @@ def _solve_maar_legacy(
     spammer_seeds: Sequence[int] = (),
 ) -> MAARResult:
     """The original sweep over the builder's list-of-lists adjacency."""
+    if config.jobs > 1:
+        logger.warning(
+            "MAARConfig(jobs=%d) ignored: the legacy engine has no "
+            "parallel k-sweep; use KLConfig(engine='csr') for fan-out",
+            config.jobs,
+        )
     check_seeds(graph.num_nodes, legit_seeds, spammer_seeds)
     locked = [False] * graph.num_nodes
     for u in legit_seeds:

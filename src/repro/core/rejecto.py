@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Set
 
 from .graph import AugmentedSocialGraph
+from .kernels import active_in_rejections
 from .maar import MAARConfig, _solve_maar_view, check_seeds, solve_maar
 
 __all__ = ["RejectoConfig", "DetectedGroup", "RejectoResult", "Rejecto"]
@@ -205,9 +206,12 @@ class Rejecto:
             # Order members by in-rejection evidence within the residual
             # view (active rejecters only) so that detected(limit) trims
             # the weakest evidence last — same ordering as the legacy
-            # path's per-residual ``rej_in`` lengths.
+            # path's per-residual ``rej_in`` lengths. One batch kernel
+            # sweep replaces the per-member active-mask scans; the keys
+            # are the same integers, so the sort is unchanged.
             members = state.suspicious_nodes()
-            members.sort(key=view.rejections_received, reverse=True)
+            evidence = active_in_rejections(view)
+            members.sort(key=evidence.__getitem__, reverse=True)
             groups.append(
                 DetectedGroup(
                     members=members,

@@ -17,6 +17,14 @@ friendships and rejections. This module provides:
 Objective semantics are identical to the unweighted case with every
 edge count replaced by a weight sum; an unweighted graph embedded with
 all weights 1 reproduces the plain objective exactly (property-tested).
+
+Weighted graphs deliberately stay off the :mod:`repro.core.kernels`
+batch paths: their gains are float *sums*, and the scalar loops fix the
+summation order that is part of the reproducibility contract. They
+still benefit from the shared pass plumbing — heap bulk loading and the
+dirty-frontier incremental passes of :mod:`repro.core.kl` (exact even
+for floats, because ``switch_gain`` recomputes from scratch in that
+fixed order rather than accumulating deltas).
 """
 
 from __future__ import annotations
@@ -232,9 +240,9 @@ def weighted_extended_kl(
 
     for _ in range(max_passes):
         index = HeapGainIndex()
-        for u in range(n):
-            if not locked[u]:
-                index.insert(u, partition.switch_gain(u, k))
+        index.bulk_load(
+            (u, partition.switch_gain(u, k)) for u in range(n) if not locked[u]
+        )
 
         sequence: List[int] = []
         cumulative = 0.0

@@ -26,9 +26,20 @@ def small_graph():
 
 
 class TestResolveBackend:
-    def test_auto_prefers_numpy_when_available(self):
+    def test_auto_prefers_numpy_when_available(self, monkeypatch):
         pytest.importorskip("numpy")
+        monkeypatch.delenv("REPRO_BACKEND", raising=False)
         assert resolve_backend("auto") == "numpy"
+
+    def test_env_override_pins_auto(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "python")
+        assert resolve_backend("auto") == "python"
+        monkeypatch.setenv("REPRO_BACKEND", "auto")
+        assert resolve_backend("auto") in ("python", "numpy")
+
+    def test_env_override_leaves_explicit_choice_alone(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "python")
+        assert resolve_backend("python") == "python"
 
     def test_explicit_names_pass_through(self):
         assert resolve_backend("python") == "python"
@@ -77,6 +88,7 @@ class TestCSRGraph:
         assert not csr.has_rejection(0, 3)
 
     def test_backends_share_identical_storage(self):
+        pytest.importorskip("numpy")
         graph = small_graph()
         py = CSRGraph.from_builder(graph, backend="python")
         np_ = CSRGraph.from_builder(graph, backend="numpy")

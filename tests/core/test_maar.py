@@ -5,13 +5,10 @@ import pytest
 from repro.core import (
     AugmentedSocialGraph,
     MAARConfig,
-    Partition,
     geometric_k_sequence,
     initial_partition,
     solve_maar,
 )
-
-from ..conftest import random_augmented_graph
 
 
 class TestGeometricSequence:
@@ -214,6 +211,31 @@ class TestSolveMAAR:
         result = solve_maar(graph, MAARConfig(k_steps=4))
         assert result.stats.passes >= 4
         assert result.stats.switches_tested > 0
+
+
+class TestIgnoredJobsWarnings:
+    """``jobs > 1`` that cannot fan out must say why instead of silently
+    running serial."""
+
+    def test_warm_start_warns(self, caplog):
+        graph, _ = spam_graph()
+        with caplog.at_level("WARNING", logger="repro.core.maar"):
+            solve_maar(graph, MAARConfig(jobs=2, warm_start=True))
+        assert any("warm_start" in rec.message for rec in caplog.records)
+
+    def test_legacy_engine_warns(self, caplog):
+        from repro.core import KLConfig
+
+        graph, _ = spam_graph()
+        with caplog.at_level("WARNING", logger="repro.core.maar"):
+            solve_maar(graph, MAARConfig(jobs=2, kl=KLConfig(engine="legacy")))
+        assert any("legacy engine" in rec.message for rec in caplog.records)
+
+    def test_parallel_sweep_does_not_warn(self, caplog):
+        graph, _ = spam_graph()
+        with caplog.at_level("WARNING", logger="repro.core.maar"):
+            solve_maar(graph, MAARConfig(jobs=2, executor="thread"))
+        assert not caplog.records
 
 
 class TestMAARResult:

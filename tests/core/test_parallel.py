@@ -105,7 +105,10 @@ class TestCSRPickling:
     def test_csr_graph_roundtrip(self):
         graph = self.graph()
         graph.hot()  # populate the caches that must NOT be pickled
-        graph.numpy_arrays()
+        try:
+            graph.numpy_arrays()
+        except ImportError:  # numpy optional; hot cache still covers it
+            pass
         clone = pickle.loads(pickle.dumps(graph))
         assert isinstance(clone, CSRGraph)
         assert clone.num_nodes == graph.num_nodes

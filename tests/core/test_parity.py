@@ -14,13 +14,22 @@ from hypothesis import given, settings
 
 from repro.attacks.scenario import ScenarioConfig, build_scenario
 from repro.core import AugmentedSocialGraph, Partition
-from repro.core.kl import KLConfig, extended_kl
+from repro.core.csr import PartitionState
+from repro.core.kl import KLConfig, KLStats, extended_kl, extended_kl_state
 from repro.core.maar import MAARConfig, solve_maar
 from repro.core.rejecto import Rejecto, RejectoConfig
 
 from ..conftest import graphs_with_sides
 
 LEGACY_KL = KLConfig(engine="legacy")
+FULL_REBUILD = KLConfig(incremental=False)
+
+try:
+    import numpy  # noqa: F401
+
+    HAS_NUMPY = True
+except ImportError:  # pragma: no cover
+    HAS_NUMPY = False
 
 
 def canonical(graph):
@@ -218,6 +227,145 @@ class TestParallelSweepParity:
         serial = solve_maar(graph, MAARConfig(refine_rounds=2))
         parallel = solve_maar(graph, MAARConfig(refine_rounds=2, jobs=2))
         assert_maar_results_equal(serial, parallel)
+
+
+def assert_stats_equal(reference: KLStats, other: KLStats) -> None:
+    assert other.passes == reference.passes
+    assert other.switches_applied == reference.switches_applied
+    assert other.switches_tested == reference.switches_tested
+    assert other.objective_history == reference.objective_history
+
+
+class TestIncrementalParity:
+    """Dirty-frontier incremental passes vs the full-rebuild reference.
+
+    ``KLConfig(incremental=False)`` re-sweeps all V+E gains every pass;
+    the default rebuilds only the previous pass's applied prefix and its
+    neighbourhood. The two must be bit-identical — same sides, counters,
+    and complete ``KLStats`` including ``objective_history`` (which
+    records the start-of-pass objective, so any drift in pass structure
+    shows up immediately).
+    """
+
+    @given(graphs_with_sides())
+    @settings(max_examples=40, deadline=None)
+    def test_bucket_passes_identical(self, graph_and_sides):
+        graph, sides = graph_and_sides
+        graph = canonical(graph)
+        locked = [u % 3 == 0 for u in range(graph.num_nodes)]
+        for k in (0.125, 1.0, 4.0):
+            initial = Partition(graph, list(sides))
+            full_stats, inc_stats = KLStats(), KLStats()
+            full = extended_kl(
+                graph, k, initial, locked=locked,
+                config=FULL_REBUILD, stats=full_stats,
+            )
+            inc = extended_kl(graph, k, initial, locked=locked, stats=inc_stats)
+            assert inc.sides == full.sides
+            assert (inc.f_cross, inc.r_cross) == (full.f_cross, full.r_cross)
+            assert_stats_equal(full_stats, inc_stats)
+
+    @given(graphs_with_sides())
+    @settings(max_examples=40, deadline=None)
+    def test_heap_passes_identical(self, graph_and_sides):
+        graph, sides = graph_and_sides
+        graph = canonical(graph)
+        initial = Partition(graph, list(sides))
+        full_stats, inc_stats = KLStats(), KLStats()
+        full = extended_kl(
+            graph, 0.3, initial, config=FULL_REBUILD, stats=full_stats
+        )
+        inc = extended_kl(graph, 0.3, initial, stats=inc_stats)
+        assert inc.sides == full.sides
+        assert (inc.f_cross, inc.r_cross) == (full.f_cross, full.r_cross)
+        assert_stats_equal(full_stats, inc_stats)
+
+    @given(graphs_with_sides())
+    @settings(max_examples=25, deadline=None)
+    def test_residual_view_passes_identical(self, graph_and_sides):
+        graph, sides = graph_and_sides
+        graph = canonical(graph)
+        removed = [u for u in range(graph.num_nodes) if u % 5 == 4]
+        locked = [u % 4 == 0 for u in range(graph.num_nodes)]
+        view = graph.csr().view().without(removed)
+        for k, config_inc in ((1.0, KLConfig()), (0.3, KLConfig())):
+            full_stats, inc_stats = KLStats(), KLStats()
+            full = extended_kl_state(
+                PartitionState(view, list(sides), locked),
+                k, config=FULL_REBUILD, stats=full_stats,
+            )
+            inc = extended_kl_state(
+                PartitionState(view, list(sides), locked),
+                k, config=config_inc, stats=inc_stats,
+            )
+            assert inc.sides == full.sides
+            assert (inc.f_cross, inc.r_cross) == (full.f_cross, full.r_cross)
+            assert inc.side_sizes == full.side_sizes
+            assert_stats_equal(full_stats, inc_stats)
+
+    @pytest.mark.parametrize("name", sorted(SCENARIOS))
+    def test_maar_sweep_identical(self, name):
+        graph = canonical(scenario_graph(**SCENARIOS[name]).graph)
+        full = solve_maar(graph, MAARConfig(kl=FULL_REBUILD))
+        inc = solve_maar(graph, MAARConfig())
+        assert_maar_results_equal(full, inc)
+        assert_stats_equal(full.stats, inc.stats)
+        assert full.found
+
+    def test_rejecto_groups_identical(self):
+        graph = canonical(scenario_graph().graph)
+        full = Rejecto(RejectoConfig(maar=MAARConfig(kl=FULL_REBUILD))).detect(graph)
+        inc = Rejecto().detect(graph)
+        assert inc.termination == full.termination
+        assert [g.members for g in inc.groups] == [g.members for g in full.groups]
+        assert inc.detected() == full.detected()
+
+
+@pytest.mark.skipif(not HAS_NUMPY, reason="numpy backend unavailable")
+class TestBackendParity:
+    """python vs numpy CSR backends must be bit-identical end to end:
+    the batch kernels fill the same integer/float gain arrays the scalar
+    fallback produces, so the engines cannot tell the backends apart."""
+
+    @given(graphs_with_sides())
+    @settings(max_examples=25, deadline=None)
+    def test_extended_kl_state_identical(self, graph_and_sides):
+        graph, sides = graph_and_sides
+        graph = canonical(graph)
+        removed = [u for u in range(graph.num_nodes) if u % 5 == 4]
+        locked = [u % 4 == 0 for u in range(graph.num_nodes)]
+        for k in (0.125, 1.0, 0.3):
+            results = []
+            for backend in ("python", "numpy"):
+                view = graph.csr(backend).view().without(removed)
+                stats = KLStats()
+                out = extended_kl_state(
+                    PartitionState(view, list(sides), locked), k, stats=stats
+                )
+                results.append((out, stats))
+            (py_out, py_stats), (np_out, np_stats) = results
+            assert np_out.sides == py_out.sides
+            assert (np_out.f_cross, np_out.r_cross) == (
+                py_out.f_cross,
+                py_out.r_cross,
+            )
+            assert np_out.side_sizes == py_out.side_sizes
+            assert_stats_equal(py_stats, np_stats)
+
+    def test_rejecto_detection_identical(self, monkeypatch):
+        scenario = scenario_graph()
+        results = []
+        for backend in ("python", "numpy"):
+            # Pin every internal csr("auto") resolution to this backend.
+            monkeypatch.setenv("REPRO_BACKEND", backend)
+            graph = canonical(scenario.graph)
+            results.append(Rejecto().detect(graph))
+        py_res, np_res = results
+        assert np_res.termination == py_res.termination
+        assert [g.members for g in np_res.groups] == [
+            g.members for g in py_res.groups
+        ]
+        assert np_res.detected() == py_res.detected()
 
 
 class TestRejectoParity:
