@@ -1,8 +1,11 @@
-"""Ablation: prefetching vs on-demand fetches on the mini-cluster.
+"""Ablation: prefetching and delta broadcasts on the mini-cluster.
 
 Section V's I/O optimization: each miss pulls the bucket list's
-top-gain candidates in one batch, with LRU eviction. Measures wall time
-and reports fetch round-trips; the computed cut must be identical.
+top-gain candidates in one batched block-slice fetch, with LRU eviction;
+between passes only the switched node ids are broadcast. Measures wall
+time and reports the per-kind message/byte breakdown; the computed cut
+must be identical across every configuration — both knobs are pure I/O
+optimizations.
 """
 
 import pytest
@@ -20,13 +23,20 @@ INIT = [
 
 
 @pytest.mark.parametrize(
-    "label,capacity",
-    [("prefetch", 4096), ("no_prefetch", 0)],
+    "label,capacity,broadcast_mode",
+    [
+        ("prefetch+delta", 4096, "delta"),
+        ("prefetch+full", 4096, "full"),
+        ("no_prefetch+delta", 0, "delta"),
+    ],
 )
-def bench_prefetch(benchmark, label, capacity):
+def bench_prefetch(benchmark, label, capacity, broadcast_mode):
     def solve():
         engine = DistributedKL(
-            SCENARIO.graph, ClusterConfig(buffer_capacity=capacity)
+            SCENARIO.graph,
+            ClusterConfig(
+                buffer_capacity=capacity, broadcast_mode=broadcast_mode
+            ),
         )
         outcome = engine.run(2.0, INIT)
         return outcome, engine.network.stats
@@ -34,22 +44,37 @@ def bench_prefetch(benchmark, label, capacity):
     (sides, f_cross, r_cross), net = benchmark.pedantic(
         solve, rounds=1, iterations=1
     )
+    kinds = net.bytes_by_kind
     print()
     print(
         format_table(
-            ["config", "fetch msgs", "total msgs", "MB"],
+            [
+                "config",
+                "fetch msgs",
+                "total msgs",
+                "fetch KB",
+                "bcast KB",
+                "delta KB",
+                "gains KB",
+                "total MB",
+            ],
             [
                 [
                     label,
                     net.by_kind.get("fetch", 0),
                     net.messages,
+                    kinds.get("fetch", 0) / 1e3,
+                    kinds.get("broadcast", 0) / 1e3,
+                    kinds.get("delta", 0) / 1e3,
+                    kinds.get("gains", 0) / 1e3,
                     net.bytes_sent / 1e6,
                 ]
             ],
-            title="Prefetch ablation (Section V)",
+            title="Prefetch / broadcast ablation (Section V)",
         )
     )
-    # Identical result regardless of prefetching.
+    assert sum(kinds.values()) == net.bytes_sent
+    # Identical result regardless of prefetching or broadcast encoding.
     reference = DistributedKL(
         SCENARIO.graph, ClusterConfig(buffer_capacity=4096)
     ).run(2.0, INIT)

@@ -10,16 +10,25 @@ Two measurements:
   per size on each engine, demonstrating that the flat-array core keeps
   its advantage as graphs grow.
 
+Each cluster row also reports the prefetch hit rate, the per-kind
+message/byte breakdown, and — where a pre-PR baseline exists — the
+payload-byte reduction and wall-clock speedup delivered by the
+CSR-sharded engine (batched block-slice fetches + delta broadcasts)
+over the dict-record implementation it replaced.
+
 Running this module directly (``PYTHONPATH=src python
 benchmarks/bench_table2_scaling.py``) writes the per-size wall-clock
-numbers to ``BENCH_table2.json`` at the repo root.
+numbers to ``BENCH_table2.json`` at the repo root. ``--smoke`` runs a
+small two-size study with full protocol assertions and writes nothing —
+the CI guard for the cluster wire format.
 """
 
 import json
+import sys
 import time
 from pathlib import Path
 
-from benchmeta import bench_metadata
+from benchmeta import bench_metadata, cluster_stats_payload
 from repro.attacks import ScenarioConfig, build_scenario
 from repro.core import KLConfig, MAARConfig, solve_maar
 from repro.experiments import ScalingConfig, scaling_study
@@ -30,6 +39,16 @@ OUTPUT_PATH = REPO_ROOT / "BENCH_table2.json"
 CONFIG = ScalingConfig(user_counts=(1000, 2000, 4000, 8000))
 ENGINE_SIZES = (500, 1000, 2000, 4000)
 FAKE_FRACTION = 0.2  # the default attack scale's 5:1 legit:fake ratio
+
+#: Pre-PR ``BENCH_table2.json`` cluster rows (dict-record workers,
+#: full-vector broadcasts, estimate_bytes accounting) — the reference
+#: the payload-reduction and speedup columns are computed against.
+PRE_PR_BASELINE = {
+    1000: {"network_bytes": 3_051_168, "wall_seconds": 0.4379},
+    2000: {"network_bytes": 6_140_760, "wall_seconds": 0.7233},
+    4000: {"network_bytes": 13_075_320, "wall_seconds": 1.8123},
+    8000: {"network_bytes": 35_885_584, "wall_seconds": 3.9037},
+}
 
 
 def run_engine_scaling(sizes=ENGINE_SIZES):
@@ -60,24 +79,40 @@ def run_engine_scaling(sizes=ENGINE_SIZES):
     return rows
 
 
-def run_table2():
+def cluster_row_payload(row):
+    """One cluster-scaling row, with the pre-PR comparison when the size
+    has a recorded baseline."""
+    payload = {
+        "users": row.users,
+        "edges": row.edges,
+        "rejections": row.rejections,
+        "wall_seconds": row.wall_seconds,
+        "microseconds_per_edge": row.microseconds_per_edge,
+        "network_messages": row.network_messages,
+        "network_bytes": row.network_bytes,
+        "prefetch_hit_rate": row.prefetch_hit_rate,
+        "fetch_batches": row.fetch_batches,
+        "bytes_by_kind": dict(row.bytes_by_kind),
+    }
+    baseline = PRE_PR_BASELINE.get(row.users)
+    if baseline:
+        payload["pre_pr_network_bytes"] = baseline["network_bytes"]
+        payload["pre_pr_wall_seconds"] = baseline["wall_seconds"]
+        payload["payload_reduction"] = (
+            baseline["network_bytes"] / max(1, row.network_bytes)
+        )
+        payload["wall_speedup"] = baseline["wall_seconds"] / max(
+            1e-9, row.wall_seconds
+        )
+    return payload
+
+
+def run_table2(config=CONFIG):
     """The full Table II payload: cluster study + engine comparison."""
-    study = scaling_study(CONFIG)
-    cluster_rows = [
-        {
-            "users": row.users,
-            "edges": row.edges,
-            "rejections": row.rejections,
-            "wall_seconds": row.wall_seconds,
-            "microseconds_per_edge": row.microseconds_per_edge,
-            "network_messages": row.network_messages,
-            "network_bytes": row.network_bytes,
-        }
-        for row in study.rows
-    ]
+    study = scaling_study(config)
     return {
         "meta": bench_metadata(),
-        "cluster_scaling": cluster_rows,
+        "cluster_scaling": [cluster_row_payload(row) for row in study.rows],
         "engine_scaling": run_engine_scaling(),
     }
 
@@ -85,6 +120,43 @@ def run_table2():
 def write_report(payload):
     OUTPUT_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     return OUTPUT_PATH
+
+
+def run_smoke():
+    """CI guard: a two-size study with full wire-protocol assertions.
+
+    Verifies the sharded engine end to end — per-kind byte accounting,
+    delta broadcasts actually in use, prefetching effective — without
+    touching ``BENCH_table2.json``.
+    """
+    from repro.cluster import ClusterConfig, ClusterRunStats, distributed_maar
+    from repro.core import MAARConfig as MC
+
+    config = ScalingConfig(user_counts=(400, 800), k_steps=2)
+    study = scaling_study(config)
+    assert len(study.rows) == 2
+    for row in study.rows:
+        kinds = row.bytes_by_kind
+        # The full protocol must be visible in the breakdown: block
+        # uploads, one full sync per run, per-pass gains, slice fetches.
+        for kind in ("upload", "broadcast", "gains", "fetch"):
+            assert kind in kinds and kinds[kind] > 0, (kind, kinds)
+        assert sum(kinds.values()) == row.network_bytes
+        assert row.prefetch_hit_rate > 0.5, row.prefetch_hit_rate
+        assert row.fetch_batches > 0
+
+    # Delta broadcasts engage whenever a run takes more than one pass.
+    stats = ClusterRunStats()
+    scenario = build_scenario(ScenarioConfig(num_legit=720, num_fakes=80))
+    distributed_maar(scenario.graph, maar_config=MC(k_steps=4), stats=stats)
+    kinds = stats.network.bytes_by_kind
+    runs = stats.network.by_kind["broadcast"] // ClusterConfig().num_workers
+    assert stats.passes > runs, "expected multi-pass runs in the smoke scenario"
+    assert "delta" in kinds, "multi-pass runs must emit delta broadcasts"
+    assert stats.network.by_kind["delta"] % ClusterConfig().num_workers == 0
+    assert sum(kinds.values()) == stats.network.bytes_sent
+    print(json.dumps(cluster_stats_payload(stats), indent=2, sort_keys=True))
+    print("table2 smoke OK")
 
 
 def bench_table2(run_once):
@@ -106,6 +178,9 @@ def bench_table2_engines(benchmark):
 
 
 if __name__ == "__main__":
+    if "--smoke" in sys.argv:
+        run_smoke()
+        sys.exit(0)
     report = run_table2()
     path = write_report(report)
     print(json.dumps(report, indent=2, sort_keys=True))

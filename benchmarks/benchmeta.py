@@ -30,3 +30,21 @@ def bench_metadata() -> dict:
         "numpy_version": numpy_version,
         "python_version": platform.python_version(),
     }
+
+
+def cluster_stats_payload(stats) -> dict:
+    """Flatten a :class:`repro.cluster.ClusterRunStats` into the shape
+    the cluster benchmark reports embed: pass/switch counters, prefetch
+    effectiveness, and the per-kind message/byte breakdown."""
+    return {
+        "passes": stats.passes,
+        "switches_tested": stats.switches_tested,
+        "switches_applied": stats.switches_applied,
+        "prefetch_hit_rate": stats.prefetch_hit_rate,
+        "fetch_batches": stats.fetch_batches,
+        "records_fetched": stats.records_fetched,
+        "network_messages": stats.network.messages,
+        "network_bytes": stats.network.bytes_sent,
+        "messages_by_kind": dict(stats.network.by_kind),
+        "bytes_by_kind": dict(stats.network.bytes_by_kind),
+    }

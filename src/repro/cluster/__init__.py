@@ -7,6 +7,7 @@ status and gain buckets, LRU prefetching of node structure, and full
 network-I/O accounting. See DESIGN.md, substitution 2.
 """
 
+from .blocks import BlockSlices, ShardBlock, ShardedCSR, partition_bounds
 from .engine import (
     ClusterConfig,
     ClusterRunStats,
@@ -34,4 +35,8 @@ __all__ = [
     "Worker",
     "WorkerFailure",
     "DataLossError",
+    "BlockSlices",
+    "ShardBlock",
+    "ShardedCSR",
+    "partition_bounds",
 ]

@@ -1,0 +1,303 @@
+"""CSR shard blocks — the worker-resident graph representation.
+
+Section V distributes "the large social graph structure to the workers";
+this module holds the flat form it travels and lives in. Each worker
+stores one :class:`ShardBlock` per owned partition: a contiguous node
+range ``[lo, hi)`` carrying three rebased CSR pairs (friendships,
+rejections cast, rejections received) as flat ``array("q")`` buffers,
+with cached plain-list and numpy views mirroring
+:class:`repro.core.csr.CSRGraph`. Replacing the earlier one-dict-record
+-per-node layout with contiguous blocks buys three things:
+
+* **batched block-slice fetches** — one request pulls the adjacency of
+  many nodes as a single mini-CSR (:class:`BlockSlices`) whose payload
+  is byte-accurate (8 bytes per int64 element plus a fixed header)
+  instead of a per-tuple structural estimate;
+* **vectorized per-pass state** — the master's gain rebuild and
+  cross-cut recount run the :func:`repro.core.kernels.shard_gain_deltas`
+  / :func:`~repro.core.kernels.shard_cut_counts` batch kernels over each
+  block (numpy on the numpy backend, bit-identical scalar loops
+  otherwise);
+* **delta-friendly wire accounting** — every message's size follows
+  from array lengths, so the delta-broadcast protocol's byte savings
+  are exact in ``NetworkSimulator``, not estimated.
+
+:class:`ShardedCSR` is the master's O(#partitions) handle on a
+distributed graph: the partition bounds and storage keys, but no
+adjacency.
+"""
+
+from __future__ import annotations
+
+from array import array
+from bisect import bisect_right
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.kernels import shard_cut_counts, shard_gain_deltas
+
+__all__ = [
+    "ShardBlock",
+    "BlockSlices",
+    "ShardedCSR",
+    "partition_bounds",
+    "MESSAGE_HEADER_BYTES",
+    "COUNTER_BYTES",
+    "SIDE_BYTE",
+    "INT_BYTES",
+]
+
+#: Fixed per-message framing: kind tag, shard/partition key, length field.
+MESSAGE_HEADER_BYTES = 24
+#: The two int64 cut counters riding along with a gains reply.
+COUNTER_BYTES = 16
+#: One packed status byte per node in a full side-vector broadcast.
+SIDE_BYTE = 1
+#: Wire width of one node id / pointer / gain (int64 / float64).
+INT_BYTES = 8
+
+
+def partition_bounds(num_nodes: int, num_partitions: int) -> List[int]:
+    """Near-even contiguous ranges: partition ``p`` owns nodes
+    ``[bounds[p], bounds[p+1])``. The first ``num_nodes %
+    num_partitions`` partitions take one extra node."""
+    if num_partitions < 1:
+        raise ValueError(f"num_partitions must be >= 1, got {num_partitions}")
+    base, rem = divmod(num_nodes, num_partitions)
+    bounds = [0]
+    for p in range(num_partitions):
+        bounds.append(bounds[-1] + base + (1 if p < rem else 0))
+    return bounds
+
+
+class BlockSlices:
+    """The wire form of one batched adjacency fetch: a mini-CSR over the
+    requested nodes (in request order), with offsets local to the reply
+    and neighbour ids global."""
+
+    __slots__ = ("nodes", "f_off", "f_idx", "ro_off", "ro_idx", "ri_off", "ri_idx")
+
+    def __init__(
+        self,
+        nodes: List[int],
+        f_off: List[int],
+        f_idx: List[int],
+        ro_off: List[int],
+        ro_idx: List[int],
+        ri_off: List[int],
+        ri_idx: List[int],
+    ) -> None:
+        self.nodes = nodes
+        self.f_off, self.f_idx = f_off, f_idx
+        self.ro_off, self.ro_idx = ro_off, ro_idx
+        self.ri_off, self.ri_idx = ri_off, ri_idx
+
+    def payload_bytes(self) -> int:
+        """Exact wire size: every id/offset is one int64."""
+        elements = (
+            len(self.nodes)
+            + len(self.f_off)
+            + len(self.f_idx)
+            + len(self.ro_off)
+            + len(self.ro_idx)
+            + len(self.ri_off)
+            + len(self.ri_idx)
+        )
+        return MESSAGE_HEADER_BYTES + INT_BYTES * elements
+
+    def records(self) -> List[Tuple[int, List[int], List[int], List[int]]]:
+        """Unpack into per-node ``(node, friends, rej_out, rej_in)``
+        records — the master-side shape ``MasterState.apply_switch``
+        consumes."""
+        out = []
+        f_off, f_idx = self.f_off, self.f_idx
+        ro_off, ro_idx = self.ro_off, self.ro_idx
+        ri_off, ri_idx = self.ri_off, self.ri_idx
+        for j, node in enumerate(self.nodes):
+            out.append(
+                (
+                    node,
+                    f_idx[f_off[j] : f_off[j + 1]],
+                    ro_idx[ro_off[j] : ro_off[j + 1]],
+                    ri_idx[ri_off[j] : ri_off[j + 1]],
+                )
+            )
+        return out
+
+
+class ShardBlock:
+    """One contiguous CSR slice of the graph, resident on a worker.
+
+    Pointers are rebased to the block (``f_ptr[0] == 0``); neighbour ids
+    stay global, so gain kernels index the full side vector directly.
+    Canonical storage is ``array("q")``; :meth:`hot` and
+    :meth:`numpy_state` cache the plain-list and ``int64`` views the two
+    kernel backends run on.
+    """
+
+    __slots__ = (
+        "lo",
+        "hi",
+        "backend",
+        "f_ptr",
+        "f_idx",
+        "ro_ptr",
+        "ro_idx",
+        "ri_ptr",
+        "ri_idx",
+        "_hot_cache",
+        "_np_cache",
+    )
+
+    def __init__(self, lo: int, hi: int, arrays: Tuple[array, ...], backend: str) -> None:
+        self.lo, self.hi = lo, hi
+        (
+            self.f_ptr,
+            self.f_idx,
+            self.ro_ptr,
+            self.ro_idx,
+            self.ri_ptr,
+            self.ri_idx,
+        ) = arrays
+        self.backend = backend
+        self._hot_cache: Optional[Tuple[List[int], ...]] = None
+        self._np_cache: Optional[Dict[str, object]] = None
+
+    @classmethod
+    def from_csr(cls, csr, lo: int, hi: int) -> "ShardBlock":
+        """Slice a block out of a finalized :class:`CSRGraph`."""
+        return cls(lo, hi, csr.block_arrays(lo, hi), csr.backend)
+
+    @property
+    def num_nodes(self) -> int:
+        return self.hi - self.lo
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.f_idx) + len(self.ro_idx) + len(self.ri_idx)
+
+    def payload_bytes(self) -> int:
+        """Exact upload size of the block's six flat arrays."""
+        elements = (
+            len(self.f_ptr)
+            + len(self.f_idx)
+            + len(self.ro_ptr)
+            + len(self.ro_idx)
+            + len(self.ri_ptr)
+            + len(self.ri_idx)
+        )
+        return MESSAGE_HEADER_BYTES + INT_BYTES * elements
+
+    def hot(self) -> Tuple[List[int], ...]:
+        """Cached plain-list views, mirroring :meth:`CSRGraph.hot`."""
+        cache = self._hot_cache
+        if cache is None:
+            cache = (
+                list(self.f_ptr),
+                list(self.f_idx),
+                list(self.ro_ptr),
+                list(self.ro_idx),
+                list(self.ri_ptr),
+                list(self.ri_idx),
+            )
+            self._hot_cache = cache
+        return cache
+
+    def numpy_state(self) -> Dict[str, object]:
+        """Cached zero-copy ``int64`` views plus per-slot *local* row ids
+        (``f_row[i]`` is the block-local row owning slot ``i``)."""
+        cache = self._np_cache
+        if cache is None:
+            import numpy as np
+
+            cache = {
+                "f_ptr": np.frombuffer(self.f_ptr, dtype=np.int64),
+                "f_idx": np.frombuffer(self.f_idx, dtype=np.int64),
+                "ro_ptr": np.frombuffer(self.ro_ptr, dtype=np.int64),
+                "ro_idx": np.frombuffer(self.ro_idx, dtype=np.int64),
+                "ri_ptr": np.frombuffer(self.ri_ptr, dtype=np.int64),
+                "ri_idx": np.frombuffer(self.ri_idx, dtype=np.int64),
+            }
+            rows = np.arange(self.num_nodes, dtype=np.int64)
+            cache["f_row"] = np.repeat(rows, np.diff(cache["f_ptr"]))
+            cache["ro_row"] = np.repeat(rows, np.diff(cache["ro_ptr"]))
+            cache["ri_row"] = np.repeat(rows, np.diff(cache["ri_ptr"]))
+            self._np_cache = cache
+        return cache
+
+    def slices(self, nodes: Sequence[int]) -> BlockSlices:
+        """Batched block-slice read: the adjacency of the requested
+        (global-id) nodes as one flat mini-CSR, in request order."""
+        fp, fi, op, oi, ip_, ii = self.hot()
+        lo = self.lo
+        ids: List[int] = []
+        f_off, o_off, i_off = [0], [0], [0]
+        f_out: List[int] = []
+        o_out: List[int] = []
+        i_out: List[int] = []
+        for node in nodes:
+            r = node - lo
+            if not 0 <= r < self.num_nodes:
+                raise KeyError(
+                    f"node {node} outside block range [{lo}, {self.hi})"
+                )
+            ids.append(node)
+            f_out.extend(fi[fp[r] : fp[r + 1]])
+            f_off.append(len(f_out))
+            o_out.extend(oi[op[r] : op[r + 1]])
+            o_off.append(len(o_out))
+            i_out.extend(ii[ip_[r] : ip_[r + 1]])
+            i_off.append(len(i_out))
+        return BlockSlices(ids, f_off, f_out, o_off, o_out, i_off, i_out)
+
+    def pass_state(self, sides: Sequence[int], k: float):
+        """Worker-side per-pass contribution: the block's per-node switch
+        gains (the single IEEE expression ``-(fd − k·rd)`` over the
+        kernel integers, so both backends are bit-identical) plus its
+        exact ``(f_cross, r_cross)`` parts."""
+        fd, rd = shard_gain_deltas(self, sides)
+        gains = [-(fd[r] - k * rd[r]) for r in range(len(fd))]
+        f_part, r_part = shard_cut_counts(self, sides)
+        return gains, f_part, r_part
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardBlock([{self.lo}, {self.hi}), edges={self.num_edges}, "
+            f"backend={self.backend!r})"
+        )
+
+
+class ShardedCSR:
+    """The master's handle on a block-distributed CSR graph: partition
+    bounds and storage keys only — O(#partitions) memory, no adjacency
+    (Section V's master never holds graph structure)."""
+
+    __slots__ = ("shard_id", "bounds", "backend")
+
+    def __init__(self, shard_id: int, bounds: Sequence[int], backend: str) -> None:
+        self.shard_id = shard_id
+        self.bounds = list(bounds)
+        self.backend = backend
+
+    @property
+    def num_partitions(self) -> int:
+        return len(self.bounds) - 1
+
+    @property
+    def num_nodes(self) -> int:
+        return self.bounds[-1]
+
+    def key(self, partition_id: int) -> Tuple[str, int, int]:
+        """Storage key of one block on its workers."""
+        return ("csr", self.shard_id, partition_id)
+
+    def partition_of(self, node: int) -> int:
+        """Owning partition of a node (contiguous ranges, O(log P))."""
+        if not 0 <= node < self.num_nodes:
+            raise ValueError(
+                f"node id {node} out of range for sharded graph with "
+                f"{self.num_nodes} nodes"
+            )
+        return bisect_right(self.bounds, node) - 1
+
+    def range_of(self, partition_id: int) -> Tuple[int, int]:
+        return self.bounds[partition_id], self.bounds[partition_id + 1]

@@ -2,22 +2,42 @@
 
 Implements the architecture of Section V:
 
-* the **workers** hold the graph — one record per node carrying its
-  friendship and rejection adjacency — as cached, indexed partitions;
+* the **workers** hold the graph — contiguous CSR *shard blocks*
+  (:mod:`repro.cluster.blocks`), flat offset/adjacency arrays sliced out
+  of the same :class:`~repro.core.csr.CSRGraph` the local engine runs
+  on — plus a replica of the side vector, kept in sync by the broadcast
+  protocol below;
 * the **master** keeps the per-node status (side assignment) and the
   gain bucket list, so the hot update path never crosses the network;
+* each pass opens with one **gains** exchange per partition: the owning
+  worker runs the :func:`repro.core.kernels.shard_gain_deltas` /
+  :func:`~repro.core.kernels.shard_cut_counts` batch kernels over its
+  block (vectorized on the numpy backend) and replies with the block's
+  per-node gains and its exact boundary-counter parts — the master never
+  re-derives either from adjacency;
 * node structure is pulled through an LRU **prefetch buffer**: each miss
-  also fetches the current top-gain nodes of the bucket list, which are
-  exactly the nodes the greedy loop will pop next.
+  issues one batched *block-slice* fetch whose reply is a flat mini-CSR
+  over the missed node plus the current top-gain candidates, which are
+  exactly the nodes the greedy loop will pop next;
+* status updates travel as **delta broadcasts**: the full side vector is
+  installed once per run (1 byte per node), and each subsequent pass
+  ships only the ids of the nodes its best prefix actually switched
+  (8 bytes per id) — broadcast volume scales with churn, not graph size.
+  ``ClusterConfig(broadcast_mode="full")`` restores the re-broadcast-
+  everything behaviour as an ablation reference.
+
+Every message's size follows from its array lengths (see the wire
+constants in :mod:`repro.cluster.blocks`), so the per-kind byte
+breakdown in :class:`~repro.cluster.netsim.NetworkStats` is exact.
 
 The engine executes the same greedy single-node-switch discipline as
-:func:`repro.core.kl.extended_kl` (same gain updates, same LIFO bucket
-tie-breaks, same best-prefix rollback), so given identical inputs it
-returns *identical* partitions — property-tested in
-``tests/cluster/test_engine.py``. What differs is the accounting: every
-fetch, broadcast, and collect is charged to the network simulator,
-which is what Table II's scaling study and the prefetch ablation
-measure.
+:func:`repro.core.kl.extended_kl` (same gain arithmetic, same LIFO
+bucket tie-breaks, same best-prefix rollback), so given identical inputs
+it returns *identical* partitions — and identical per-pass objective
+histories — property-tested across backends in
+``tests/cluster/test_engine.py``. The worker-side gains double as the
+protocol check: they are computed from the *replica* side vectors, so
+any delta-broadcast bug breaks parity immediately.
 """
 
 from __future__ import annotations
@@ -27,10 +47,17 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.maar import MAARConfig, geometric_k_sequence
 from ..core.objectives import LEGITIMATE, SUSPICIOUS, acceptance_rate
+from .blocks import (
+    COUNTER_BYTES,
+    INT_BYTES,
+    MESSAGE_HEADER_BYTES,
+    SIDE_BYTE,
+    BlockSlices,
+)
 from .master import MasterState, NodeRecord
 from .netsim import NetworkSimulator, NetworkStats
 from .prefetch import PrefetchBuffer
-from .rdd import ClusterContext, DataLossError, PartitionedDataset, estimate_bytes
+from .rdd import ClusterContext
 
 __all__ = ["ClusterConfig", "ClusterRunStats", "DistributedKL", "distributed_maar"]
 
@@ -43,7 +70,11 @@ class ClusterConfig:
 
     Defaults mirror the paper's five-node evaluation cluster. A
     ``buffer_capacity`` of 0 disables prefetching (the "fetch per node
-    on demand" strawman of Section V).
+    on demand" strawman of Section V). ``broadcast_mode`` selects the
+    status-sync protocol: ``"delta"`` (default) ships only switched node
+    ids between passes, ``"full"`` re-broadcasts the whole side vector
+    every pass (the ablation reference — results are identical either
+    way, only the wire bytes differ).
     """
 
     num_workers: int = 5
@@ -54,11 +85,19 @@ class ClusterConfig:
     resolution: int = 8
     max_passes: int = 30
     replication: int = 1
+    broadcast_mode: str = "delta"
+
+    def __post_init__(self) -> None:
+        if self.broadcast_mode not in ("delta", "full"):
+            raise ValueError(
+                f"broadcast_mode must be 'delta' or 'full', "
+                f"got {self.broadcast_mode!r}"
+            )
 
 
 @dataclass
 class ClusterRunStats:
-    """Diagnostics of one distributed KL run."""
+    """Diagnostics of one (or several accumulated) distributed KL runs."""
 
     passes: int = 0
     switches_tested: int = 0
@@ -66,54 +105,16 @@ class ClusterRunStats:
     network: NetworkStats = field(default_factory=NetworkStats)
     prefetch_hits: int = 0
     prefetch_misses: int = 0
+    fetch_batches: int = 0
+    records_fetched: int = 0
+    #: start-of-pass objective ``f_cross − k·r_cross``, one entry per
+    #: pass — comparable entry-for-entry with ``KLStats.objective_history``
+    objective_history: List[float] = field(default_factory=list)
 
     @property
     def prefetch_hit_rate(self) -> float:
         total = self.prefetch_hits + self.prefetch_misses
         return self.prefetch_hits / total if total else 0.0
-
-
-def _record_gain(
-    record: NodeRecord, sides: Sequence[int], k: float
-) -> float:
-    """Switch gain of a node from its worker-resident record — the same
-    arithmetic as ``Partition.switch_gain``."""
-    node, friends, rej_out, rej_in = record
-    s = sides[node]
-    friends_delta = 0
-    for v in friends:
-        friends_delta += 1 if sides[v] == s else -1
-    rej_delta = 0
-    if s == LEGITIMATE:
-        for v in rej_out:
-            if sides[v] == SUSPICIOUS:
-                rej_delta -= 1
-        for w in rej_in:
-            if sides[w] == LEGITIMATE:
-                rej_delta += 1
-    else:
-        for v in rej_out:
-            if sides[v] == SUSPICIOUS:
-                rej_delta += 1
-        for w in rej_in:
-            if sides[w] == LEGITIMATE:
-                rej_delta -= 1
-    return -(friends_delta - k * rej_delta)
-
-
-def _record_cut_contribution(
-    record: NodeRecord, sides: Sequence[int]
-) -> Tuple[int, int]:
-    """(cross friendships counted from this endpoint, counted rejections
-    cast by this node). Friendships are double-counted across the two
-    endpoints; the caller halves the sum."""
-    node, friends, rej_out, _rej_in = record
-    s = sides[node]
-    f_cross = sum(1 for v in friends if sides[v] != s)
-    r_cross = 0
-    if s == LEGITIMATE:
-        r_cross = sum(1 for v in rej_out if sides[v] == SUSPICIOUS)
-    return f_cross, r_cross
 
 
 class DistributedKL:
@@ -126,10 +127,11 @@ class DistributedKL:
         network: Optional[NetworkSimulator] = None,
     ) -> None:
         self.config = config or ClusterConfig()
-        # Worker records are sliced out of the CSR snapshot (builder inputs
-        # finalize through their cache), so adjacency is sorted ascending —
-        # the same iteration order as the core CSR engine, which keeps the
-        # two engines' bucket tie-breaks, and hence their outputs, identical.
+        # Blocks are sliced out of the CSR snapshot (builder inputs
+        # finalize through their cache), so adjacency is sorted ascending
+        # — the same iteration order as the core CSR engine, which keeps
+        # the two engines' bucket tie-breaks, and hence their outputs,
+        # identical.
         csr = graph.csr()
         self.graph_size = csr.num_nodes
         self.network = network or NetworkSimulator()
@@ -138,93 +140,108 @@ class DistributedKL:
             self.network,
             replication=self.config.replication,
         )
-        fp, fi, op, oi, ip_, ii = csr.hot()
-        records: List[NodeRecord] = [
+        self.sharded = self.context.distribute_csr(
+            csr, self.config.num_partitions
+        )
+        # Degree maxima for the gain-bound computation at each k. A bound
+        # from two different nodes is looser than the per-node maximum,
+        # which is harmless: a gain bound only sizes the bucket array
+        # (a uniform offset shift) and never alters pop order.
+        fp, _, op, _, ip_, _ = csr.hot()
+        self._max_f_degree = max(
+            (fp[u + 1] - fp[u] for u in range(csr.num_nodes)), default=1
+        )
+        self._max_r_degree = max(
             (
-                u,
-                tuple(fi[fp[u] : fp[u + 1]]),
-                tuple(oi[op[u] : op[u + 1]]),
-                tuple(ii[ip_[u] : ip_[u + 1]]),
-            )
-            for u in range(csr.num_nodes)
-        ]
-        self.dataset: PartitionedDataset = self.context.parallelize(
-            records, num_partitions=self.config.num_partitions
-        ).cache()
-        # Index every source partition (on every replica) by node id.
-        for pid in range(self.config.num_partitions):
-            for worker in self.context.workers_for(pid):
-                worker.build_index(self.dataset.partition_key(pid), lambda r: r[0])
-        # Per-node degree split, for the gain-bound computation at each k.
-        self._degree_parts = [
-            (len(r[1]), len(r[2]) + len(r[3])) for r in records
-        ]
+                (op[u + 1] - op[u]) + (ip_[u + 1] - ip_[u])
+                for u in range(csr.num_nodes)
+            ),
+            default=0,
+        )
 
     def _max_abs_gain(self, k: float) -> float:
         """Lifetime gain bound at weight ``k`` (cf. ``kl._max_abs_gain``)."""
-        return max(
-            (friends + k * rejections for friends, rejections in self._degree_parts),
-            default=1.0,
-        )
+        return max(self._max_f_degree + k * self._max_r_degree, 1.0)
 
     # ------------------------------------------------------------------
-    # Worker access
+    # Wire protocol: broadcasts, gains collection, block-slice fetches
     # ------------------------------------------------------------------
-    def _fetch_records(self, nodes: Sequence[int]) -> List[Tuple[int, NodeRecord]]:
-        """One batched fetch: group nodes by partition, pull from the
-        owning workers, charge one message per partition touched."""
-        by_partition: Dict[int, List[int]] = {}
-        for node in nodes:
-            by_partition.setdefault(node % self.config.num_partitions, []).append(
-                node
-            )
-        fetched: List[Tuple[int, NodeRecord]] = []
-        payload = 0
-        for pid, keys in by_partition.items():
-            # Failover: the first surviving replica serves the lookup.
-            records = None
-            for worker in self.context.workers_for(pid):
-                if not worker.alive:
-                    continue
-                records = worker.lookup(self.dataset.partition_key(pid), keys)
-                break
-            if records is None:
-                raise DataLossError(
-                    f"all replicas of partition {pid} have failed"
-                )
-            payload += estimate_bytes(records)
-            fetched.extend((record[0], record) for record in records)
-        self.network.send("fetch", payload, messages=len(by_partition))
-        return fetched
-
-    def _broadcast_sides(self, sides: Sequence[int]) -> None:
-        """Charge the broadcast of the side vector to every worker."""
+    def _broadcast_full(self, sides: Sequence[int]) -> None:
+        """Install the full side vector on every live worker (1 packed
+        byte per node on the wire)."""
+        targets = self.context.alive_workers()
+        for worker in targets:
+            worker.install_sides(sides)
         self.network.send(
             "broadcast",
-            estimate_bytes(list(sides)) * self.config.num_workers,
-            messages=self.config.num_workers,
+            (MESSAGE_HEADER_BYTES + SIDE_BYTE * self.graph_size) * len(targets),
+            messages=len(targets),
         )
 
-    def _distributed_initial_state(
-        self, sides: Sequence[int], k: float
-    ) -> Tuple[Dict[int, float], int, int]:
-        """Initial per-node gains and cut counters via a cluster map."""
-        self._broadcast_sides(sides)
-        gains_dataset = self.dataset.map(
-            lambda record: (
-                record[0],
-                _record_gain(record, sides, k),
-                _record_cut_contribution(record, sides),
-            )
+    def _broadcast_delta(self, switched: Sequence[int]) -> None:
+        """Ship only the switched node ids; each replica flips them."""
+        targets = self.context.alive_workers()
+        for worker in targets:
+            worker.apply_side_delta(switched)
+        self.network.send(
+            "delta",
+            (MESSAGE_HEADER_BYTES + INT_BYTES * len(switched)) * len(targets),
+            messages=len(targets),
         )
-        gains: Dict[int, float] = {}
-        double_f = 0
-        r_cross = 0
-        for node, gain, (f_part, r_part) in gains_dataset.collect():
-            gains[node] = gain
-            double_f += f_part
+
+    def _collect_pass_state(
+        self, k: float
+    ) -> Tuple[List[Tuple[int, float]], int, int]:
+        """One gains exchange per partition: each owning worker runs the
+        shard kernels over its block against its side replica and replies
+        ``(gains, f_cross_part, r_cross_part)``.
+
+        The per-block counter parts sum to the exact graph-wide counters
+        (cross friendships are deduped globally by ``u < v``). Gains come
+        back in ascending node order — partitions are contiguous
+        ascending ranges — which is the insertion order the bucket
+        index's LIFO tie-breaks are defined against.
+        """
+        sharded = self.sharded
+        pairs: List[Tuple[int, float]] = []
+        f_cross = r_cross = 0
+        for pid in range(sharded.num_partitions):
+            lo, hi = sharded.range_of(pid)
+            if lo == hi:
+                continue
+            worker = self.context.block_replica_for(pid, sharded.key(pid))
+            gains, f_part, r_part = worker.block_pass_state(sharded.key(pid), k)
+            self.network.send(
+                "gains",
+                MESSAGE_HEADER_BYTES + INT_BYTES * len(gains) + COUNTER_BYTES,
+            )
+            f_cross += f_part
             r_cross += r_part
-        return gains, double_f // 2, r_cross
+            pairs.extend((lo + r, gains[r]) for r in range(len(gains)))
+        return pairs, f_cross, r_cross
+
+    def _fetch_records(
+        self, nodes: Sequence[int]
+    ) -> List[Tuple[int, NodeRecord]]:
+        """One batched block-slice fetch: group the wanted nodes by owning
+        partition, pull each group's adjacency as a flat mini-CSR from a
+        surviving replica, charge one message per partition touched at
+        the reply's exact wire size."""
+        sharded = self.sharded
+        by_partition: Dict[int, List[int]] = {}
+        for node in nodes:
+            by_partition.setdefault(sharded.partition_of(node), []).append(node)
+        fetched: List[Tuple[int, NodeRecord]] = []
+        payload = 0
+        for pid, wanted in by_partition.items():
+            worker = self.context.block_replica_for(pid, sharded.key(pid))
+            slices: BlockSlices = worker.block_slices(sharded.key(pid), wanted)
+            payload += slices.payload_bytes()
+            fetched.extend(
+                (record[0], record) for record in slices.records()
+            )
+        self.network.send("fetch", payload, messages=len(by_partition))
+        return fetched
 
     # ------------------------------------------------------------------
     # The KL pass loop
@@ -255,11 +272,15 @@ class DistributedKL:
             fetch_batch=self._fetch_records,
             batch_size=config.prefetch_batch,
         )
+        # Full sync opens every run: replicas must start from this run's
+        # initial sides, whatever a previous run left behind.
+        self._broadcast_full(sides)
         f_cross = r_cross = 0
         for pass_index in range(config.max_passes):
+            gains, f_cross, r_cross = self._collect_pass_state(k)
             if stats is not None:
                 stats.passes += 1
-            gains, f_cross, r_cross = self._distributed_initial_state(sides, k)
+                stats.objective_history.append(f_cross - k * r_cross)
 
             state = MasterState.for_pass(
                 n,
@@ -267,7 +288,7 @@ class DistributedKL:
                 sides,
                 f_cross,
                 r_cross,
-                sorted(gains.items()),
+                gains,
                 locked,
                 gain_index_kind=config.gain_index,
                 max_abs_gain=self._max_abs_gain(k),
@@ -300,16 +321,26 @@ class DistributedKL:
 
             # Roll back past the best prefix (master-local state only).
             state.rollback_to(best_length)
+            switched = state.applied_nodes()
             sides, f_cross, r_cross = state.snapshot()
             if stats is not None:
                 stats.switches_applied += best_length
-                stats.prefetch_hits = buffer.stats.hits
-                stats.prefetch_misses = buffer.stats.misses
             if best_length == 0:
                 break
+            # Sync the replicas for the next pass: each surviving switch
+            # flipped its node exactly once, so the applied prefix *is*
+            # the side-vector delta.
+            if config.broadcast_mode == "delta":
+                self._broadcast_delta(switched)
+            else:
+                self._broadcast_full(sides)
 
         if stats is not None:
             stats.network = self.network.stats
+            stats.prefetch_hits += buffer.stats.hits
+            stats.prefetch_misses += buffer.stats.misses
+            stats.fetch_batches += buffer.stats.fetch_batches
+            stats.records_fetched += buffer.stats.records_fetched
         return sides, f_cross, r_cross
 
 

@@ -21,8 +21,10 @@ from ..core.objectives import LEGITIMATE, SUSPICIOUS
 
 __all__ = ["MasterState", "NodeRecord"]
 
-#: Node record layout stored on the workers: (node, friends, rej_out, rej_in).
-NodeRecord = Tuple[int, Tuple[int, ...], Tuple[int, ...], Tuple[int, ...]]
+#: Per-node adjacency as unpacked from a block-slice fetch:
+#: ``(node, friends, rej_out, rej_in)`` with each adjacency an id
+#: sequence (list slices off the wire arrays; tuples in older tests).
+NodeRecord = Tuple[int, Sequence[int], Sequence[int], Sequence[int]]
 
 
 class MasterState:
@@ -144,6 +146,16 @@ class MasterState:
     @property
     def switches_applied(self) -> int:
         return len(self._sequence)
+
+    def applied_nodes(self) -> List[int]:
+        """Ids of the currently applied switches, in application order.
+
+        After :meth:`rollback_to`, this is exactly the set of nodes whose
+        side differs from the start of the pass (each node is popped at
+        most once per pass), i.e. the delta the broadcast protocol ships
+        to the worker replicas.
+        """
+        return [node for node, _, _ in self._sequence]
 
     def rollback_to(self, keep: int) -> None:
         """Undo every switch beyond the best prefix of length ``keep``."""

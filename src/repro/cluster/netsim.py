@@ -37,11 +37,18 @@ class NetworkModel:
 
 @dataclass
 class NetworkStats:
-    """Accumulated traffic counters."""
+    """Accumulated traffic counters.
+
+    ``by_kind`` counts *messages* per kind label; ``bytes_by_kind``
+    counts payload bytes per kind, so benchmark reports can attribute
+    wire volume (e.g. delta broadcasts vs block fetches) and not just
+    round trips.
+    """
 
     messages: int = 0
     bytes_sent: int = 0
     by_kind: Dict[str, int] = field(default_factory=dict)
+    bytes_by_kind: Dict[str, int] = field(default_factory=dict)
 
     def simulated_seconds(self, model: NetworkModel) -> float:
         return model.transfer_time(self.messages, self.bytes_sent)
@@ -62,6 +69,9 @@ class NetworkSimulator:
         self.stats.messages += messages
         self.stats.bytes_sent += payload_bytes
         self.stats.by_kind[kind] = self.stats.by_kind.get(kind, 0) + messages
+        self.stats.bytes_by_kind[kind] = (
+            self.stats.bytes_by_kind.get(kind, 0) + payload_bytes
+        )
 
     def reset(self) -> NetworkStats:
         """Return the current stats and start a fresh accounting window."""

@@ -5,10 +5,13 @@ node... The prefetched nodes are those with the highest potential move
 gains in the bucket list... Rejecto uses a LRU replacement strategy to
 evict nodes from the buffer."
 
-The buffer fronts the workers' node-structure lookups: a hit costs
-nothing; a miss triggers one batched fetch of the missed node *plus* the
-current top-gain candidates, so the next pops of the bucket list land in
-the buffer.
+The buffer fronts the workers' block-slice reads: a hit costs nothing; a
+miss triggers one batched *block-slice* fetch — the missed node *plus*
+the current top-gain candidates travel back as a single flat mini-CSR
+per partition touched (see :class:`repro.cluster.blocks.BlockSlices`) —
+so the next pops of the bucket list land in the buffer. The buffer
+itself is key→record and protocol-agnostic; the engine's fetch callback
+does the grouping and the byte-exact accounting.
 """
 
 from __future__ import annotations

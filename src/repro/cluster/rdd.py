@@ -17,8 +17,10 @@ prefetching ablation are measurable.
 from __future__ import annotations
 
 import itertools
+from array import array
 from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
+from .blocks import ShardBlock, ShardedCSR, partition_bounds
 from .netsim import NetworkSimulator
 from .worker import Worker
 
@@ -33,10 +35,27 @@ class DataLossError(RuntimeError):
     """
 
 
+#: Recursion guard for pathological nesting. The old implementation
+#: silently returned 8 past depth 4, undercounting any deeply nested
+#: adjacency payload; genuinely deeper structures now raise instead of
+#: lying about their size.
+_MAX_ESTIMATE_DEPTH = 100
+
+
 def estimate_bytes(value: Any, _depth: int = 0) -> int:
-    """Cheap structural size estimate used for traffic accounting."""
-    if _depth > 4:
-        return 8
+    """Cheap structural size estimate used for traffic accounting.
+
+    Exact O(1) fast paths cover the flat payloads the cluster actually
+    ships — ``array.array`` buffers and numpy arrays — and homogeneous
+    int sequences short-circuit to ``56 + 8·len`` without per-item
+    recursion. Nesting deeper than :data:`_MAX_ESTIMATE_DEPTH` raises
+    ``ValueError`` rather than silently undercounting.
+    """
+    if _depth > _MAX_ESTIMATE_DEPTH:
+        raise ValueError(
+            f"estimate_bytes: nesting deeper than {_MAX_ESTIMATE_DEPTH} "
+            "(cyclic or pathological payload)"
+        )
     if isinstance(value, bool) or value is None:
         return 1
     if isinstance(value, int):
@@ -45,13 +64,26 @@ def estimate_bytes(value: Any, _depth: int = 0) -> int:
         return 8
     if isinstance(value, str):
         return 49 + len(value)
-    if isinstance(value, (list, tuple, set, frozenset)):
+    if isinstance(value, array):
+        # Exact: header plus the packed buffer.
+        return 56 + value.itemsize * len(value)
+    if isinstance(value, (list, tuple)):
+        # Fast path for the common adjacency shape: a flat run of ints
+        # costs one header plus 8 bytes each, no per-item recursion.
+        if all(type(item) is int for item in value):
+            return 56 + 8 * len(value)
+        return 56 + sum(estimate_bytes(item, _depth + 1) for item in value)
+    if isinstance(value, (set, frozenset)):
         return 56 + sum(estimate_bytes(item, _depth + 1) for item in value)
     if isinstance(value, dict):
         return 64 + sum(
             estimate_bytes(k, _depth + 1) + estimate_bytes(v, _depth + 1)
             for k, v in value.items()
         )
+    nbytes = getattr(value, "nbytes", None)
+    if nbytes is not None and isinstance(nbytes, int):
+        # numpy arrays (and buffer-protocol lookalikes): exact payload.
+        return 16 + nbytes
     return 48
 
 
@@ -87,6 +119,7 @@ class ClusterContext:
         self.network = network or NetworkSimulator()
         self.replication = replication
         self._next_dataset_id = itertools.count()
+        self._next_shard_id = itertools.count()
 
     def worker_for(self, partition_id: int) -> Worker:
         """Primary placement for a partition (round robin)."""
@@ -120,6 +153,43 @@ class ClusterContext:
                 continue
             worker.store_partition(key, records)
             self.network.send("upload", estimate_bytes(records))
+
+    def distribute_csr(self, csr, num_partitions: int) -> ShardedCSR:
+        """Shard a finalized :class:`CSRGraph` across the workers as
+        contiguous :class:`ShardBlock` ranges.
+
+        Each partition's block is installed on all its replicas, with the
+        upload charged at the block's exact flat-array wire size. Returns
+        the master-side :class:`ShardedCSR` handle (bounds + keys only).
+        """
+        if num_partitions < 1:
+            raise ValueError(f"num_partitions must be >= 1, got {num_partitions}")
+        bounds = partition_bounds(csr.num_nodes, num_partitions)
+        sharded = ShardedCSR(next(self._next_shard_id), bounds, csr.backend)
+        for pid in range(num_partitions):
+            lo, hi = sharded.range_of(pid)
+            block = ShardBlock.from_csr(csr, lo, hi)
+            key = sharded.key(pid)
+            for worker in self.workers_for(pid):
+                if not worker.alive:
+                    continue
+                worker.store_block(key, block)
+                self.network.send("upload", block.payload_bytes())
+        return sharded
+
+    def block_replica_for(self, partition_id: int, key) -> Worker:
+        """The first surviving replica still holding ``key``'s block, or
+        raise :class:`DataLossError` when the block is gone everywhere."""
+        for worker in self.workers_for(partition_id):
+            if worker.alive and worker.has_block(key):
+                return worker
+        raise DataLossError(
+            f"all {self.replication} replicas of block {key!r} "
+            f"(partition {partition_id}) have failed"
+        )
+
+    def alive_workers(self) -> List[Worker]:
+        return [worker for worker in self.workers if worker.alive]
 
     def parallelize(
         self, records: Iterable[Any], num_partitions: int = 4

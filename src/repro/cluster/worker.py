@@ -2,20 +2,30 @@
 
 A :class:`Worker` owns a set of dataset partitions (Section V: "we
 distribute the large social graph structure to the workers") and serves
-two kinds of requests from the master: run a task over a partition, and
-look up records by key (the per-node graph structure the KL engine
-pulls). Every response's size is charged to the network simulator by the
-caller.
+three kinds of requests from the master: run a task over a partition,
+serve batched adjacency slices out of a resident CSR shard block, and
+compute the per-pass gain/cut state of a block against its local replica
+of the side vector. Every response's size is charged to the network
+simulator by the caller.
+
+The side-vector replica is what the delta-broadcast protocol keeps in
+sync: the master installs the full vector once per run
+(:meth:`install_sides`) and afterwards sends only the ids of nodes that
+switched since the last sync (:meth:`apply_side_delta`), so broadcast
+bytes scale with churn instead of graph size.
 
 Workers can *fail* (:meth:`Worker.fail`), dropping everything they hold
-— partitions, caches, indexes. The substrate recovers the way Spark
-does: source partitions survive on replicas, and derived (cached) data
-is recomputed from lineage on the next access.
+— partitions, shard blocks, caches, the sides replica. The substrate
+recovers the way Spark does: source partitions and blocks survive on
+replicas, and derived (cached) data is recomputed from lineage on the
+next access.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Iterable, List
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from .blocks import BlockSlices, ShardBlock
 
 __all__ = ["Worker", "WorkerFailure"]
 
@@ -34,8 +44,11 @@ class Worker:
         self.partitions: Dict[int, List[Any]] = {}
         #: cached materializations of lazy datasets: (dataset id, partition id)
         self.cache: Dict[tuple, List[Any]] = {}
-        #: key -> record indexes, built on demand for keyed lookups
-        self._indexes: Dict[int, Dict[Any, Any]] = {}
+        #: storage key -> resident CSR shard block
+        self.blocks: Dict[Any, ShardBlock] = {}
+        #: local replica of the master's side vector (delta-synced)
+        self.sides: Optional[List[int]] = None
+        self._sides_np = None
         self.tasks_run = 0
 
     # ------------------------------------------------------------------
@@ -46,7 +59,9 @@ class Worker:
         self.alive = False
         self.partitions.clear()
         self.cache.clear()
-        self._indexes.clear()
+        self.blocks.clear()
+        self.sides = None
+        self._sides_np = None
 
     def _check_alive(self) -> None:
         if not self.alive:
@@ -59,15 +74,24 @@ class Worker:
         """Install a partition's records on this worker."""
         self._check_alive()
         self.partitions[partition_id] = records
-        self._indexes.pop(partition_id, None)
 
     def has_partition(self, partition_id: int) -> bool:
         return partition_id in self.partitions
 
+    def store_block(self, key: Any, block: ShardBlock) -> None:
+        """Install one CSR shard block under its storage key."""
+        self._check_alive()
+        self.blocks[key] = block
+
+    def has_block(self, key: Any) -> bool:
+        return key in self.blocks
+
     def memory_records(self) -> int:
-        """Total records resident (partitions plus cache)."""
-        return sum(len(p) for p in self.partitions.values()) + sum(
-            len(p) for p in self.cache.values()
+        """Total records resident (partitions, cache, and block nodes)."""
+        return (
+            sum(len(p) for p in self.partitions.values())
+            + sum(len(p) for p in self.cache.values())
+            + sum(b.num_nodes for b in self.blocks.values())
         )
 
     # ------------------------------------------------------------------
@@ -86,27 +110,68 @@ class Worker:
         return task(self.partitions[partition_id])
 
     # ------------------------------------------------------------------
-    # Keyed lookup (used by the KL engine's prefetcher)
+    # Side-vector replica (delta-broadcast protocol)
     # ------------------------------------------------------------------
-    def build_index(
-        self, partition_id: int, key_fn: Callable[[Any], Any]
-    ) -> None:
-        """Index a partition's records by ``key_fn`` for O(1) lookup."""
+    def install_sides(self, sides: Sequence[int]) -> None:
+        """Full sync: replace the local side-vector replica."""
         self._check_alive()
-        if partition_id not in self.partitions:
-            raise KeyError(
-                f"worker {self.worker_id} does not hold partition {partition_id}"
-            )
-        self._indexes[partition_id] = {
-            key_fn(record): record for record in self.partitions[partition_id]
-        }
+        self.sides = list(sides)
+        self._sides_np = None
 
-    def lookup(self, partition_id: int, keys: Iterable[Any]) -> List[Any]:
-        """Fetch the records with the given keys from an indexed partition."""
+    def apply_side_delta(self, switched: Sequence[int]) -> None:
+        """Delta sync: flip the side of each listed node."""
         self._check_alive()
-        index = self._indexes.get(partition_id)
-        if index is None:
-            raise KeyError(
-                f"partition {partition_id} on worker {self.worker_id} is not indexed"
+        if self.sides is None:
+            raise RuntimeError(
+                f"worker {self.worker_id} received a side delta before any "
+                "full side-vector sync"
             )
-        return [index[key] for key in keys if key in index]
+        sides = self.sides
+        for node in switched:
+            sides[node] = 1 - sides[node]
+        if self._sides_np is not None:
+            for node in switched:
+                self._sides_np[node] = sides[node]
+
+    def _sides_view(self, backend: str):
+        """The replica in the form the block's kernel backend wants:
+        a cached int64 array for numpy, the plain list otherwise."""
+        if self.sides is None:
+            raise RuntimeError(
+                f"worker {self.worker_id} has no side-vector replica installed"
+            )
+        if backend != "numpy":
+            return self.sides
+        if self._sides_np is None:
+            import numpy as np
+
+            self._sides_np = np.asarray(self.sides, dtype=np.int64)
+        return self._sides_np
+
+    # ------------------------------------------------------------------
+    # Block-slice fetches and per-pass gain state
+    # ------------------------------------------------------------------
+    def block_slices(self, key: Any, nodes: Sequence[int]) -> BlockSlices:
+        """Serve one batched adjacency fetch out of a resident block."""
+        self._check_alive()
+        block = self.blocks.get(key)
+        if block is None:
+            raise KeyError(
+                f"worker {self.worker_id} does not hold block {key!r}"
+            )
+        self.tasks_run += 1
+        return block.slices(nodes)
+
+    def block_pass_state(
+        self, key: Any, k: float
+    ) -> Tuple[List[float], int, int]:
+        """Per-pass contribution of one block against the local side
+        replica: ``(gains, f_cross_part, r_cross_part)``."""
+        self._check_alive()
+        block = self.blocks.get(key)
+        if block is None:
+            raise KeyError(
+                f"worker {self.worker_id} does not hold block {key!r}"
+            )
+        self.tasks_run += 1
+        return block.pass_state(self._sides_view(block.backend), k)

@@ -328,6 +328,33 @@ class CSRGraph:
             cache["ri_row"] = np.repeat(ids, np.diff(cache["ri_ptr"]))
         return cache["f_row"], cache["ro_row"], cache["ri_row"]
 
+    def block_arrays(self, lo: int, hi: int) -> Tuple[array, ...]:
+        """Rebased CSR slices for the contiguous node range ``[lo, hi)``.
+
+        Returns ``(f_ptr, f_idx, ro_ptr, ro_idx, ri_ptr, ri_idx)`` where
+        each ``ptr`` array is local (``ptr[0] == 0``, length
+        ``hi − lo + 1``) and each ``idx`` array keeps *global* neighbour
+        ids — exactly the layout a cluster worker stores per shard block
+        (:class:`repro.cluster.blocks.ShardBlock`). The ``idx`` slices
+        are flat C-level copies of the parent buffers; only the pointer
+        rebase walks Python-level.
+        """
+        if not 0 <= lo <= hi <= self.num_nodes:
+            raise ValueError(
+                f"block range [{lo}, {hi}) invalid for graph with "
+                f"{self.num_nodes} nodes"
+            )
+        out: List[array] = []
+        for ptr, idx in (
+            (self.f_ptr, self.f_idx),
+            (self.ro_ptr, self.ro_idx),
+            (self.ri_ptr, self.ri_idx),
+        ):
+            base = ptr[lo]
+            out.append(array("q", (ptr[i] - base for i in range(lo, hi + 1))))
+            out.append(idx[ptr[lo] : ptr[hi]])
+        return tuple(out)
+
     def bucket_gain_bound(self, resolution: int, k_scaled: int) -> int:
         """Memoized :func:`repro.core.kernels.scaled_gain_bound`.
 

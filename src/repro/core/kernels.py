@@ -17,7 +17,13 @@ module collects those batch kernels in one place:
 * :func:`active_in_rejections` — in-rejection counts restricted to
   active rejecters (Rejecto's member-evidence ordering);
 * :func:`scaled_gain_bound` — the integer-scaled lifetime gain bound
-  that sizes the FM bucket array.
+  that sizes the FM bucket array;
+* :func:`shard_gain_deltas` / :func:`shard_cut_counts` — the same
+  per-node deltas and boundary counters evaluated over one contiguous
+  CSR *shard block* (a worker-resident slice of the graph, see
+  :mod:`repro.cluster.blocks`), so the distributed engine's per-pass
+  gain rebuild runs as whole-array kernels on each worker instead of a
+  scalar loop over dict records.
 
 Dispatch follows the graph's ``backend`` attribute: ``"numpy"`` runs the
 vectorized ``_np`` variants over zero-copy ``frombuffer`` views,
@@ -43,6 +49,8 @@ __all__ = [
     "recount_active",
     "active_in_rejections",
     "scaled_gain_bound",
+    "shard_gain_deltas",
+    "shard_cut_counts",
 ]
 
 
@@ -292,3 +300,135 @@ def scaled_gain_bound(csr, resolution: int, k_scaled: int) -> int:
         if weight > bound:
             bound = weight
     return bound
+
+
+# ----------------------------------------------------------------------
+# Shard-block kernels (distributed engine, Section V)
+# ----------------------------------------------------------------------
+#: Duck-typed protocol of a shard block: ``lo``/``num_nodes`` delimit the
+#: contiguous global node range, ``backend`` selects the variant,
+#: ``hot()`` yields six plain-list arrays ``(f_ptr, f_idx, ro_ptr,
+#: ro_idx, ri_ptr, ri_idx)`` with *local* (rebased-to-0) pointers and
+#: *global* neighbour ids, and ``numpy_state()`` yields the matching
+#: int64 views plus cached per-slot local row ids ``f_row``/``ro_row``/
+#: ``ri_row``. ``repro.cluster.blocks.ShardBlock`` implements it.
+
+
+def shard_gain_deltas(block, sides: Sequence[int]) -> Tuple[List[int], List[int]]:
+    """Per-node ``(friend_delta, rejection_delta)`` over one shard block.
+
+    Exactly :func:`gain_deltas` restricted to the block's contiguous
+    node range ``[lo, lo + num_nodes)`` with every node active — the
+    cluster engine always partitions the *full* graph, so no mask is
+    carried. ``sides`` is the full global side vector (a list on the
+    python backend, an ``int64`` array on numpy). Both backends produce
+    bit-identical integers.
+    """
+    if block.backend == "numpy":
+        return _shard_gain_deltas_np(block, sides)
+    return _shard_gain_deltas_py(block, sides)
+
+
+def _shard_gain_deltas_np(block, sides) -> Tuple[List[int], List[int]]:
+    import numpy as np
+
+    arrs = block.numpy_state()
+    sides_np = np.asarray(sides, dtype=np.int64)
+    own = sides_np[block.lo : block.lo + block.num_nodes]
+
+    same = sides_np[arrs["f_idx"]] == own[arrs["f_row"]]
+    contrib = np.where(same, 1, -1).astype(np.int64)
+    fd = _segment_sums(np, contrib, arrs["f_ptr"])
+
+    out_susp = _segment_sums(
+        np, (sides_np[arrs["ro_idx"]] == 1).astype(np.int64), arrs["ro_ptr"]
+    )
+    in_legit = _segment_sums(
+        np, (sides_np[arrs["ri_idx"]] == 0).astype(np.int64), arrs["ri_ptr"]
+    )
+    rd = (2 * own - 1) * (out_susp - in_legit)
+    return fd.tolist(), rd.tolist()
+
+
+def _shard_gain_deltas_py(block, sides) -> Tuple[List[int], List[int]]:
+    fp, fi, op, oi, ip_, ii = block.hot()
+    lo = block.lo
+    m = block.num_nodes
+    fd = [0] * m
+    rd = [0] * m
+    for r in range(m):
+        s = sides[lo + r]
+        acc = 0
+        for i in range(fp[r], fp[r + 1]):
+            acc += 1 if sides[fi[i]] == s else -1
+        fd[r] = acc
+        acc = 0
+        if s:
+            for i in range(op[r], op[r + 1]):
+                if sides[oi[i]]:
+                    acc += 1
+            for i in range(ip_[r], ip_[r + 1]):
+                if not sides[ii[i]]:
+                    acc -= 1
+        else:
+            for i in range(op[r], op[r + 1]):
+                if sides[oi[i]]:
+                    acc -= 1
+            for i in range(ip_[r], ip_[r + 1]):
+                if not sides[ii[i]]:
+                    acc += 1
+        rd[r] = acc
+    return fd, rd
+
+
+def shard_cut_counts(block, sides: Sequence[int]) -> Tuple[int, int]:
+    """Boundary-counter contributions of one shard block.
+
+    Returns ``(f_cross_part, r_cross_part)``: cross friendships counted
+    once per unordered pair via the *global* ``u < v`` dedup (so the
+    per-block parts sum to the exact graph-wide ``f_cross`` with no
+    halving step), and rejections cast by the block's side-0 nodes onto
+    side-1 targets (each rejection counted once, at its caster's row).
+    """
+    if block.backend == "numpy":
+        return _shard_cut_counts_np(block, sides)
+    return _shard_cut_counts_py(block, sides)
+
+
+def _shard_cut_counts_np(block, sides) -> Tuple[int, int]:
+    import numpy as np
+
+    arrs = block.numpy_state()
+    sides_np = np.asarray(sides, dtype=np.int64)
+    own = sides_np[block.lo : block.lo + block.num_nodes]
+    f_row_global = arrs["f_row"] + block.lo
+    f_cross = int(
+        np.count_nonzero(
+            (f_row_global < arrs["f_idx"])
+            & (own[arrs["f_row"]] != sides_np[arrs["f_idx"]])
+        )
+    )
+    r_cross = int(
+        np.count_nonzero(
+            (own[arrs["ro_row"]] == 0) & (sides_np[arrs["ro_idx"]] == 1)
+        )
+    )
+    return f_cross, r_cross
+
+
+def _shard_cut_counts_py(block, sides) -> Tuple[int, int]:
+    fp, fi, op, oi, _, _ = block.hot()
+    lo = block.lo
+    f_cross = r_cross = 0
+    for r in range(block.num_nodes):
+        u = lo + r
+        s = sides[u]
+        for i in range(fp[r], fp[r + 1]):
+            v = fi[i]
+            if u < v and sides[v] != s:
+                f_cross += 1
+        if s == 0:
+            for i in range(op[r], op[r + 1]):
+                if sides[oi[i]] == 1:
+                    r_cross += 1
+    return f_cross, r_cross

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from ..attacks.scenario import ScenarioConfig, build_scenario
 from ..cluster.engine import ClusterConfig, ClusterRunStats, distributed_maar
@@ -51,6 +51,9 @@ class ScalingRow:
     network_messages: int
     network_bytes: int
     simulated_network_seconds: float
+    prefetch_hit_rate: float = 0.0
+    fetch_batches: int = 0
+    bytes_by_kind: Dict[str, int] = field(default_factory=dict)
 
     @property
     def microseconds_per_edge(self) -> float:
@@ -126,6 +129,9 @@ def scaling_study(config: Optional[ScalingConfig] = None) -> ScalingResult:
                 simulated_network_seconds=stats.network.simulated_seconds(
                     NetworkModel()
                 ),
+                prefetch_hit_rate=stats.prefetch_hit_rate,
+                fetch_batches=stats.fetch_batches,
+                bytes_by_kind=dict(stats.network.bytes_by_kind),
             )
         )
     return ScalingResult(rows=rows, cluster_workers=config.cluster.num_workers)

@@ -33,12 +33,22 @@ class TestNetworkSimulator:
         sim.send("x", 500, messages=5)
         assert sim.simulated_seconds == pytest.approx(0.005 + 0.5)
 
+    def test_bytes_tracked_per_kind(self):
+        sim = NetworkSimulator()
+        sim.send("fetch", 100)
+        sim.send("fetch", 50, messages=2)
+        sim.send("delta", 24)
+        assert sim.stats.bytes_by_kind == {"fetch": 150, "delta": 24}
+        assert sum(sim.stats.bytes_by_kind.values()) == sim.stats.bytes_sent
+
     def test_reset_returns_window(self):
         sim = NetworkSimulator()
         sim.send("a", 10)
         old = sim.reset()
         assert old.messages == 1
+        assert old.bytes_by_kind == {"a": 10}
         assert sim.stats.messages == 0
+        assert sim.stats.bytes_by_kind == {}
 
     def test_negative_values_rejected(self):
         sim = NetworkSimulator()

@@ -148,9 +148,87 @@ class TestEstimateBytes:
         assert estimate_bytes([1, 2, 3]) > estimate_bytes([1])
         assert estimate_bytes({"k": [1, 2]}) > estimate_bytes({})
 
-    def test_depth_capped(self):
-        nested = [[[[[[[1]]]]]]]
-        assert estimate_bytes(nested) > 0  # no recursion blow-up
+    def test_int_list_fast_path_exact(self):
+        # Header plus 8 bytes per element — no per-item recursion.
+        assert estimate_bytes([1] * 10) == 56 + 8 * 10
+        assert estimate_bytes(list(range(1000))) == 56 + 8 * 1000
+
+    def test_array_buffer_exact(self):
+        from array import array
+
+        assert estimate_bytes(array("q", range(10))) == 56 + 8 * 10
+        assert estimate_bytes(array("b", [1, 2])) == 56 + 2
+
+    def test_nbytes_objects_exact(self):
+        numpy = pytest.importorskip("numpy")
+        assert estimate_bytes(numpy.zeros(10, dtype=numpy.int64)) == 16 + 80
+
+    def test_bools_are_not_swallowed_by_int_fast_path(self):
+        # type(True) is bool, not int — the flat-int fast path must not
+        # price a bool at 8 bytes.
+        assert estimate_bytes([True, False]) == 56 + 1 + 1
+
+    def test_deep_nesting_no_longer_undercounted(self):
+        """Regression: the old depth cap flattened anything below four
+        levels to 8 bytes, undercounting nested payloads. Every level
+        must now contribute its container header."""
+        six_deep = [[[[[[1]]]]]]
+        seven_deep = [[[[[[[1]]]]]]]
+        assert estimate_bytes(six_deep) == (56 + 8) + 56 * 5
+        assert estimate_bytes(seven_deep) == estimate_bytes(six_deep) + 56
+
+    def test_cyclic_payload_raises_instead_of_recursing(self):
+        cyclic = []
+        cyclic.append(cyclic)
+        with pytest.raises(ValueError):
+            estimate_bytes(cyclic)
+
+
+class TestDistributeCSR:
+    @pytest.fixture
+    def csr(self):
+        from repro.core import AugmentedSocialGraph
+
+        return AugmentedSocialGraph.from_edges(
+            12,
+            friendships=[(u, u + 1) for u in range(11)],
+            rejections=[(0, 6), (11, 3)],
+        ).csr()
+
+    def test_blocks_land_on_every_replica(self, csr):
+        context = ClusterContext(num_workers=3, replication=2)
+        sharded = context.distribute_csr(csr, num_partitions=4)
+        for pid in range(4):
+            holders = [
+                w
+                for w in context.workers
+                if w.has_block(sharded.key(pid))
+            ]
+            assert len(holders) == 2
+
+    def test_upload_bytes_scale_with_replication(self, csr):
+        net1 = NetworkSimulator()
+        ClusterContext(3, net1, replication=1).distribute_csr(csr, 4)
+        net2 = NetworkSimulator()
+        ClusterContext(3, net2, replication=2).distribute_csr(csr, 4)
+        assert net1.stats.bytes_by_kind["upload"] > 0
+        assert (
+            net2.stats.bytes_by_kind["upload"]
+            == 2 * net1.stats.bytes_by_kind["upload"]
+        )
+
+    def test_block_replica_failover(self, csr):
+        from repro.cluster import DataLossError
+
+        context = ClusterContext(num_workers=3, replication=2)
+        sharded = context.distribute_csr(csr, num_partitions=3)
+        primary = context.block_replica_for(0, sharded.key(0))
+        primary.fail()
+        fallback = context.block_replica_for(0, sharded.key(0))
+        assert fallback is not primary and fallback.alive
+        fallback.fail()
+        with pytest.raises(DataLossError):
+            context.block_replica_for(0, sharded.key(0))
 
 
 class TestShuffleProperty:
