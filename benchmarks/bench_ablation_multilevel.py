@@ -1,39 +1,194 @@
-"""Ablation: multilevel MAAR vs the paper's flat k-sweep.
+"""Ablation: CSR-native multilevel MAAR vs the dict-adjacency baseline
+and the paper's flat k-sweep.
 
-The multilevel extension (METIS-style coarsening with weighted-KL
-refinement and a Dinkelbach polish at the finest level) moves the
-expensive ``k`` sweep to a few-hundred-node coarse graph. This ablation
-measures detection quality and runtime of both solvers on the same
-workload.
+Three measurement groups:
+
+* **engine ablation** — at the existing ablation scales, the
+  CSR-native multilevel pipeline (``engine="csr"``: kernel heavy-edge
+  matching + contraction, int64 coarse weights, weighted bucket
+  refinement) against the original dict-adjacency implementation
+  (``engine="legacy"``), same planted scenario, both validated for
+  detection quality;
+* **flat-solver context** — one flat ``solve_maar`` run at the largest
+  ablation scale, the reference the multilevel scheme approximates;
+* **large-graph solve** — a ~100k-node scenario (the soc-Slashdot
+  catalog entry at full scale plus 20k fakes) solved end to end with the
+  csr engine, recording the per-level timing breakdown
+  (coarsen / coarse sweep / refine) that the ``timings`` field of
+  :class:`repro.core.multilevel.MultilevelResult` exposes.
+
+Writes ``BENCH_multilevel.json`` at the repo root.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_ablation_multilevel.py          # full
+    PYTHONPATH=src python benchmarks/bench_ablation_multilevel.py --smoke  # CI
 """
 
-import pytest
+import argparse
+import json
+import time
+from pathlib import Path
 
+from benchmeta import bench_metadata
 from repro.attacks import ScenarioConfig, build_scenario
 from repro.core import solve_maar, solve_maar_multilevel
+from repro.core.multilevel import MultilevelConfig
 from repro.metrics import precision_recall
 
-SCENARIO = build_scenario(ScenarioConfig(num_legit=3000, num_fakes=600, seed=7))
+REPO_ROOT = Path(__file__).resolve().parent.parent
+OUTPUT_PATH = REPO_ROOT / "BENCH_multilevel.json"
+
+FULL_SCALES = ((1500, 300), (3000, 600))
+SMOKE_SCALES = ((400, 80),)
+LARGE_DATASET = "soc-Slashdot"  # 82,168 catalog nodes at scale 1.0
+LARGE_FAKES = 20_000
+ROUNDS = 3
 
 
-@pytest.mark.parametrize("solver", ["flat", "multilevel"])
-def bench_multilevel(benchmark, solver):
-    if solver == "flat":
-        result = benchmark.pedantic(
-            lambda: solve_maar(SCENARIO.graph), rounds=1, iterations=1
+def _best_of(fn, rounds=ROUNDS):
+    best = float("inf")
+    result = None
+    for _ in range(rounds):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def _quality(result, fakes):
+    metrics = precision_recall(result.suspicious, fakes)
+    return {
+        "found": result.found,
+        "suspicious": len(result.suspicious),
+        "acceptance_rate": result.acceptance_rate,
+        "k": result.k,
+        "precision": metrics.precision,
+        "recall": metrics.recall,
+    }
+
+
+def engine_ablation(scales, rounds=ROUNDS, with_flat=True):
+    """Legacy dict coarsening vs the CSR-native pipeline, per scale."""
+    rows = []
+    for num_legit, num_fakes in scales:
+        scenario = build_scenario(
+            ScenarioConfig(num_legit=num_legit, num_fakes=num_fakes, seed=7)
         )
-        suspicious = result.suspicious_nodes()
-        rate = result.acceptance_rate
-    else:
-        result = benchmark.pedantic(
-            lambda: solve_maar_multilevel(SCENARIO.graph), rounds=1, iterations=1
+        row = {
+            "num_legit": num_legit,
+            "num_fakes": num_fakes,
+            "nodes": scenario.graph.num_nodes,
+        }
+        for engine in ("legacy", "csr"):
+            config = MultilevelConfig(engine=engine)
+            seconds, result = _best_of(
+                lambda config=config: solve_maar_multilevel(
+                    scenario.graph, config
+                ),
+                rounds,
+            )
+            row[engine] = {"seconds": seconds, **_quality(result, scenario.fakes)}
+            row[engine]["levels"] = result.level_sizes
+        row["speedup_csr_over_legacy"] = (
+            row["legacy"]["seconds"] / row["csr"]["seconds"]
         )
-        suspicious = result.suspicious
-        rate = result.acceptance_rate
-    metrics = precision_recall(suspicious, SCENARIO.fakes)
-    print(
-        f"\n{solver}: acceptance={rate:.3f} precision={metrics.precision:.3f} "
-        f"recall={metrics.recall:.3f}"
+        if with_flat:
+            seconds, flat = _best_of(
+                lambda: solve_maar(scenario.graph), rounds=1
+            )
+            metrics = precision_recall(flat.suspicious_nodes(), scenario.fakes)
+            row["flat"] = {
+                "seconds": seconds,
+                "acceptance_rate": flat.acceptance_rate,
+                "precision": metrics.precision,
+                "recall": metrics.recall,
+            }
+        rows.append(row)
+    return rows
+
+
+def large_graph_solve(num_fakes=LARGE_FAKES):
+    """One end-to-end csr-engine solve on the ~100k-node scenario."""
+    build_start = time.perf_counter()
+    scenario = build_scenario(
+        ScenarioConfig(
+            dataset=LARGE_DATASET,
+            num_legit=None,
+            scale=1.0,
+            num_fakes=num_fakes,
+            seed=7,
+        )
     )
-    assert metrics.recall > 0.9
-    assert metrics.precision > 0.9
+    build_seconds = time.perf_counter() - build_start
+    scenario.graph.csr()  # finalize outside the timed solve
+    seconds, result = _best_of(
+        lambda: solve_maar_multilevel(scenario.graph), rounds=1
+    )
+    return {
+        "dataset": LARGE_DATASET,
+        "nodes": scenario.graph.num_nodes,
+        "friendships": scenario.graph.num_friendships,
+        "rejections": scenario.graph.num_rejections,
+        "scenario_build_seconds": build_seconds,
+        "solve_seconds": seconds,
+        "per_level_timings": result.timings,
+        "level_sizes": result.level_sizes,
+        **_quality(result, scenario.fakes),
+    }
+
+
+def run_report(smoke=False, rounds=ROUNDS):
+    scales = SMOKE_SCALES if smoke else FULL_SCALES
+    payload = {
+        "meta": bench_metadata(),
+        "smoke": smoke,
+        "rounds": rounds,
+        "engine_ablation": engine_ablation(
+            scales, rounds, with_flat=not smoke
+        ),
+    }
+    if not smoke:
+        payload["large_graph"] = large_graph_solve()
+    return payload
+
+
+def write_report(payload):
+    OUTPUT_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return OUTPUT_PATH
+
+
+def bench_multilevel(benchmark):
+    """pytest-benchmark entry: smoke scale, both engines detect."""
+    payload = benchmark.pedantic(
+        run_report, kwargs={"smoke": True, "rounds": 1}, rounds=1, iterations=1
+    )
+    for row in payload["engine_ablation"]:
+        assert row["csr"]["recall"] > 0.9
+        assert row["legacy"]["recall"] > 0.9
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small scale, 1 round, no large-graph solve (CI rot check; "
+        "does not overwrite a full report)",
+    )
+    args = parser.parse_args(argv)
+    payload = run_report(smoke=args.smoke, rounds=1 if args.smoke else ROUNDS)
+    print(json.dumps(payload, indent=2, sort_keys=True))
+    for row in payload["engine_ablation"]:
+        assert row["csr"]["recall"] > 0.9 and row["csr"]["precision"] > 0.9
+        assert row["legacy"]["recall"] > 0.9 and row["legacy"]["precision"] > 0.9
+    if args.smoke:
+        print("\nsmoke run ok (report not written)")
+        return 0
+    path = write_report(payload)
+    print(f"\nwrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

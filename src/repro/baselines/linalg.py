@@ -17,6 +17,7 @@ functions so the helpers stay importable without them.
 from __future__ import annotations
 
 import math
+import os
 from typing import TYPE_CHECKING, Dict, List, Mapping, Sequence
 
 from ..core.graph import AugmentedSocialGraph
@@ -27,10 +28,13 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 __all__ = [
     "friendship_transition_matrix",
+    "request_transition_matrix",
     "weighted_transition_matrix",
     "propagate",
+    "damped_propagate",
     "default_iterations",
     "validate_backend",
+    "resolve_backend",
     "degree_normalized_scores",
 ]
 
@@ -49,6 +53,35 @@ def validate_backend(backend: str) -> str:
     """Check a propagation ``backend`` name (``"python"`` or ``"numpy"``)."""
     if backend not in ("python", "numpy"):
         raise ValueError(f"unknown backend {backend!r}")
+    return backend
+
+
+def _scipy_available() -> bool:
+    try:  # pragma: no cover - trivial import probe
+        import scipy.sparse  # noqa: F401
+    except ImportError:  # pragma: no cover - exercised on scipy-free hosts
+        return False
+    return True
+
+
+def resolve_backend(backend: str) -> str:
+    """Normalize a propagation ``backend`` request to a concrete name.
+
+    ``"auto"`` prefers ``"numpy"`` when scipy is importable and falls
+    back to ``"python"`` otherwise; the ``REPRO_BACKEND`` environment
+    variable overrides the ``"auto"`` resolution, mirroring
+    :func:`repro.core.csr.resolve_backend`. Explicit names are honoured
+    as given — except that requesting ``"numpy"`` without scipy raises
+    immediately instead of failing at the first sparse matrix build.
+    """
+    if backend == "auto":
+        override = os.environ.get("REPRO_BACKEND")
+        if override and override != "auto":
+            return resolve_backend(override)
+        return "numpy" if _scipy_available() else "python"
+    validate_backend(backend)
+    if backend == "numpy" and not _scipy_available():
+        raise ValueError("backend 'numpy' requested but scipy is not importable")
     return backend
 
 
@@ -124,6 +157,30 @@ def weighted_transition_matrix(
     return sparse.csr_matrix((data, (rows, cols)), shape=(n, n))
 
 
+def request_transition_matrix(num_users: int, log) -> "sparse.csr_matrix":
+    """Transition matrix over a friend-request log with
+    ``T[target, sender] = 1/outdeg(sender)`` per request (duplicate
+    requests stack).
+
+    Multiplying a vote vector by ``T`` spreads each sender's votes
+    equally over the targets of his requests — one step of VoteTrust's
+    vote assignment.
+    """
+    from scipy import sparse
+
+    out_degree: Dict[int, int] = {}
+    for request in log:
+        out_degree[request.sender] = out_degree.get(request.sender, 0) + 1
+    rows: List[int] = []
+    cols: List[int] = []
+    data: List[float] = []
+    for request in log:
+        rows.append(request.target)
+        cols.append(request.sender)
+        data.append(1.0 / out_degree[request.sender])
+    return sparse.csr_matrix((data, (rows, cols)), shape=(num_users, num_users))
+
+
 def propagate(
     transition: "sparse.csr_matrix",
     seeds: Sequence[int],
@@ -143,3 +200,29 @@ def propagate(
     for _ in range(iterations):
         trust = transition @ trust
     return trust
+
+
+def damped_propagate(
+    transition: "sparse.csr_matrix",
+    restart: Mapping[int, float],
+    damping: float,
+    iterations: int,
+) -> "np.ndarray":
+    """Damped (personalized-PageRank-style) power iteration.
+
+    Starts from the restart distribution and iterates
+    ``x ← (1 − d)·restart + d·T·x`` — the matrix form of VoteTrust's
+    vote-assignment loop.
+    """
+    import numpy as np
+
+    if iterations < 0:
+        raise ValueError(f"iterations must be >= 0, got {iterations}")
+    n = transition.shape[0]
+    restart_vector = np.zeros(n)
+    for u, mass in restart.items():
+        restart_vector[u] += mass
+    votes = restart_vector.copy()
+    for _ in range(iterations):
+        votes = (1.0 - damping) * restart_vector + damping * (transition @ votes)
+    return votes

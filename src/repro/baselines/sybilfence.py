@@ -24,7 +24,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from ..core.graph import AugmentedSocialGraph
-from .linalg import default_iterations, degree_normalized_scores, validate_backend
+from .linalg import default_iterations, degree_normalized_scores, resolve_backend
 
 __all__ = ["SybilFenceConfig", "SybilFence"]
 
@@ -79,11 +79,11 @@ class SybilFence:
             raise ValueError("SybilFence needs at least one trusted seed")
         config = self.config
         n = graph.num_nodes
-        validate_backend(config.backend)
+        backend = resolve_backend(config.backend)
         iterations = config.iterations
         if iterations is None:
             iterations = default_iterations(n)
-        if config.backend == "numpy":
+        if backend == "numpy":
             from .linalg import propagate, weighted_transition_matrix
 
             discount = [

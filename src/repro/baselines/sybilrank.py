@@ -23,7 +23,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from ..core.graph import AugmentedSocialGraph
-from .linalg import default_iterations, degree_normalized_scores, validate_backend
+from .linalg import default_iterations, degree_normalized_scores, resolve_backend
 
 __all__ = ["SybilRankConfig", "SybilRank"]
 
@@ -66,11 +66,11 @@ class SybilRank:
             raise ValueError("SybilRank needs at least one trusted seed")
         n = graph.num_nodes
         config = self.config
-        validate_backend(config.backend)
+        backend = resolve_backend(config.backend)
         iterations = config.iterations
         if iterations is None:
             iterations = default_iterations(n)
-        if config.backend == "numpy":
+        if backend == "numpy":
             from .linalg import friendship_transition_matrix, propagate
 
             trust_vector = propagate(

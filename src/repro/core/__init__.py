@@ -18,7 +18,13 @@ Public surface:
   support (Section IV-F).
 """
 
-from .csr import CSRGraph, CSRView, PartitionState, resolve_backend
+from .csr import (
+    CSRGraph,
+    CSRView,
+    PartitionState,
+    WeightedCSRGraph,
+    resolve_backend,
+)
 from .gains import BucketGainIndex, GainIndex, HeapGainIndex, make_gain_index
 from .graph import AugmentedSocialGraph, GraphError
 from .kl import KLConfig, KLStats, extended_kl, extended_kl_state
@@ -30,6 +36,7 @@ from .maar import (
     geometric_k_sequence,
     initial_partition,
     solve_maar,
+    sweep_k_states,
 )
 from .parallel import (
     available_backends,
@@ -37,6 +44,7 @@ from .parallel import (
     fork_available,
     parallel_map,
     resolve_executor,
+    warn_jobs_ignored,
 )
 from .objectives import (
     LEGITIMATE,
@@ -67,6 +75,7 @@ __all__ = [
     "CSRGraph",
     "CSRView",
     "PartitionState",
+    "WeightedCSRGraph",
     "resolve_backend",
     "Partition",
     "LEGITIMATE",
@@ -92,11 +101,13 @@ __all__ = [
     "geometric_k_sequence",
     "initial_partition",
     "solve_maar",
+    "sweep_k_states",
     "available_backends",
     "default_jobs",
     "fork_available",
     "parallel_map",
     "resolve_executor",
+    "warn_jobs_ignored",
     "Rejecto",
     "RejectoConfig",
     "RejectoResult",

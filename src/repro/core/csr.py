@@ -12,6 +12,13 @@ each round. This module provides the flat substrate the hot paths run on:
   graphs. Adjacency is **sorted ascending**, which makes every downstream
   iteration order — and therefore every FM bucket-list tie-break —
   deterministic and independent of edge insertion order.
+* :class:`WeightedCSRGraph` — the integer-weight subclass the multilevel
+  solver coarsens onto. Contraction of a unit-weight graph only ever
+  *sums* unit edges, so every coarse weight is an exact ``int64``;
+  storing them as ``array("q")`` keeps weighted gains integral, which
+  restores the FM bucket index, the batch kernels, and bit-identical
+  python/numpy backends on the coarse levels (integer sums carry no
+  float summation-order contract).
 * :class:`CSRView` — a zero-copy *residual view*: the same CSR arrays plus an
   active-node byte mask. Rejecto's rounds shrink the view instead of
   rebuilding the graph, so pruning a detected group costs O(V) instead of
@@ -45,7 +52,12 @@ from array import array
 from bisect import bisect_left
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
-from .kernels import recount_active, scaled_gain_bound
+from .kernels import (
+    contract_arrays,
+    recount_active,
+    scaled_gain_bound,
+    weighted_recount_active,
+)
 from .objectives import (
     LEGITIMATE,
     SUSPICIOUS,
@@ -53,7 +65,13 @@ from .objectives import (
     friends_to_rejections_ratio,
 )
 
-__all__ = ["CSRGraph", "CSRView", "PartitionState", "resolve_backend"]
+__all__ = [
+    "CSRGraph",
+    "WeightedCSRGraph",
+    "CSRView",
+    "PartitionState",
+    "resolve_backend",
+]
 
 
 def _numpy_available() -> bool:
@@ -105,21 +123,28 @@ def _build_csr(
 
 
 def _build_weighted_csr(
-    num_nodes: int, adjacency: Sequence[Dict[int, float]]
+    num_nodes: int, adjacency: Sequence[Dict[int, float]], typecode: str = "d"
 ) -> Tuple[array, array, array]:
-    """Weighted variant: per-row sorted (ptr, idx, wt) triples."""
+    """Weighted variant: per-row sorted (ptr, idx, wt) triples.
+
+    ``typecode`` selects the weight storage: ``"d"`` float64 for
+    arbitrary weights, ``"q"`` int64 when every weight is integral (the
+    multilevel contraction invariant).
+    """
     ptr = array("q", [0] * (num_nodes + 1))
     total = 0
     for u in range(num_nodes):
         total += len(adjacency[u])
         ptr[u + 1] = total
     idx = array("q", [0] * total)
-    wt = array("d", [0.0] * total)
+    wt = array(typecode, [0] * total)
+    integral = typecode == "q"
     pos = 0
     for u in range(num_nodes):
         for v in sorted(adjacency[u]):
+            value = adjacency[u][v]
             idx[pos] = v
-            wt[pos] = adjacency[u][v]
+            wt[pos] = int(value) if integral else value
             pos += 1
     return ptr, idx, wt
 
@@ -236,11 +261,41 @@ class CSRGraph:
 
     @classmethod
     def from_weighted(cls, graph, backend: str = "auto") -> "CSRGraph":
-        """Finalize a :class:`~repro.core.weighted.WeightedAugmentedGraph`."""
+        """Finalize a :class:`~repro.core.weighted.WeightedAugmentedGraph`.
+
+        When every edge weight is integral — always true for graphs
+        produced by unit-weight embedding plus contraction — the result
+        is a :class:`WeightedCSRGraph` with ``int64`` weights (and the
+        builder's ``node_weight``), which unlocks the bucket index and
+        the batch kernels. Genuinely fractional weights fall back to the
+        float representation and its scalar engines.
+        """
         n = graph.num_nodes
-        f_ptr, f_idx, f_wt = _build_weighted_csr(n, graph.friends)
-        ro_ptr, ro_idx, ro_wt = _build_weighted_csr(n, graph.rej_out)
-        ri_ptr, ri_idx, ri_wt = _build_weighted_csr(n, graph.rej_in)
+        integral = all(
+            float(w).is_integer()
+            for adjacency in (graph.friends, graph.rej_out)
+            for row in adjacency
+            for w in row.values()
+        )
+        typecode = "q" if integral else "d"
+        f_ptr, f_idx, f_wt = _build_weighted_csr(n, graph.friends, typecode)
+        ro_ptr, ro_idx, ro_wt = _build_weighted_csr(n, graph.rej_out, typecode)
+        ri_ptr, ri_idx, ri_wt = _build_weighted_csr(n, graph.rej_in, typecode)
+        if integral:
+            return WeightedCSRGraph(
+                n,
+                f_ptr,
+                f_idx,
+                ro_ptr,
+                ro_idx,
+                ri_ptr,
+                ri_idx,
+                f_wt=f_wt,
+                ro_wt=ro_wt,
+                ri_wt=ri_wt,
+                node_weight=array("q", graph.node_weight),
+                backend=backend,
+            )
         return cls(
             n,
             f_ptr,
@@ -262,6 +317,13 @@ class CSRGraph:
     def weighted(self) -> bool:
         return self.f_wt is not None
 
+    @property
+    def int_weighted(self) -> bool:
+        """Whether the weight arrays are exact ``int64`` — the
+        representation that keeps weighted gains integral and therefore
+        eligible for the bucket index and the batch kernels."""
+        return self.f_wt is not None and self.f_wt.typecode == "q"
+
     def hot(self) -> Tuple[List[int], ...]:
         """Cached plain-list views ``(f_ptr, f_idx, ro_ptr, ro_idx, ri_ptr,
         ri_idx)`` for the pure-Python hot loops."""
@@ -280,7 +342,8 @@ class CSRGraph:
 
     def hot_weights(self) -> Optional[Tuple[List[float], ...]]:
         """Cached list views of ``(f_wt, ro_wt, ri_wt)``; ``None`` when the
-        graph is unweighted."""
+        graph is unweighted. Entries are ``int`` on int64-weighted
+        graphs and ``float`` otherwise."""
         if self.f_wt is None:
             return None
         cache = self._hot_wt_cache
@@ -290,9 +353,10 @@ class CSRGraph:
         return cache
 
     def numpy_arrays(self) -> Dict[str, object]:
-        """Zero-copy numpy views over the CSR buffers (``int64`` indices,
-        ``float64`` weights). Available on any instance with numpy
-        importable; the ``"numpy"`` backend guarantees it."""
+        """Zero-copy numpy views over the CSR buffers (``int64`` indices;
+        weights view as ``int64`` or ``float64`` matching their storage
+        typecode). Available on any instance with numpy importable; the
+        ``"numpy"`` backend guarantees it."""
         cache = self._np_cache
         if cache is None:
             import numpy as np
@@ -306,9 +370,12 @@ class CSRGraph:
                 "ri_idx": np.frombuffer(self.ri_idx, dtype=np.int64),
             }
             if self.f_wt is not None:
-                cache["f_wt"] = np.frombuffer(self.f_wt, dtype=np.float64)
-                cache["ro_wt"] = np.frombuffer(self.ro_wt, dtype=np.float64)
-                cache["ri_wt"] = np.frombuffer(self.ri_wt, dtype=np.float64)
+                wt_dtype = (
+                    np.int64 if self.f_wt.typecode == "q" else np.float64
+                )
+                cache["f_wt"] = np.frombuffer(self.f_wt, dtype=wt_dtype)
+                cache["ro_wt"] = np.frombuffer(self.ro_wt, dtype=wt_dtype)
+                cache["ri_wt"] = np.frombuffer(self.ri_wt, dtype=wt_dtype)
             self._np_cache = cache
         return cache
 
@@ -354,6 +421,25 @@ class CSRGraph:
             out.append(array("q", (ptr[i] - base for i in range(lo, hi + 1))))
             out.append(idx[ptr[lo] : ptr[hi]])
         return tuple(out)
+
+    def contract(
+        self, mapping: Sequence[int], num_coarse: int
+    ) -> "WeightedCSRGraph":
+        """Contract this graph under ``mapping`` (fine node → coarse id).
+
+        Weights between distinct coarse nodes accumulate (an unweighted
+        graph contributes unit weights); edges internal to a coarse node
+        vanish; ``node_weight`` sums per super-node — exactly the
+        semantics that keep every coarse cut's weight equal to the
+        projected fine cut's weight. Runs as a flat-array kernel
+        (:func:`repro.core.kernels.contract_arrays`): sort/bincount/
+        scatter-add passes on the numpy backend, dict accumulation in
+        pure python — identical int64 outputs either way. Requires
+        unweighted or int64-weighted inputs (float weights have no exact
+        integer contraction).
+        """
+        arrays = contract_arrays(self, mapping, num_coarse)
+        return WeightedCSRGraph(num_coarse, *arrays, backend=self.backend)
 
     def bucket_gain_bound(self, resolution: int, k_scaled: int) -> int:
         """Memoized :func:`repro.core.kernels.scaled_gain_bound`.
@@ -483,6 +569,128 @@ class CSRGraph:
             f"CSRGraph({kind}nodes={self.num_nodes}, "
             f"friendships={self.num_friendships}, "
             f"rejections={self.num_rejections}, backend={self.backend!r})"
+        )
+
+
+class WeightedCSRGraph(CSRGraph):
+    """Integer-weight CSR graph — the multilevel coarse representation.
+
+    Contraction of a unit-weight augmented graph only ever *sums* unit
+    edges, so every coarse friendship/rejection weight is an exact
+    integer. Storing weights as ``array("q")`` int64 (plus the per-node
+    member count ``node_weight``) keeps weighted switch gains integral,
+    which restores everything the unweighted fast path already has: the
+    FM bucket gain index, the batch kernels of
+    :mod:`repro.core.kernels`, and bit-identical python/numpy backends —
+    integer sums are order-insensitive, so there is no float
+    summation-order contract to protect.
+
+    ``node_weight[u]`` counts the original (level-0) nodes merged into
+    super-node ``u``; validity rules that cap the suspicious region's
+    *original* population weight by it (:meth:`weighted_suspicious_size`).
+    """
+
+    __slots__ = ("node_weight",)
+
+    def __init__(
+        self,
+        num_nodes: int,
+        f_ptr: array,
+        f_idx: array,
+        ro_ptr: array,
+        ro_idx: array,
+        ri_ptr: array,
+        ri_idx: array,
+        f_wt: array,
+        ro_wt: array,
+        ri_wt: array,
+        node_weight: Optional[array] = None,
+        backend: str = "auto",
+    ) -> None:
+        for name, wt in (("f_wt", f_wt), ("ro_wt", ro_wt), ("ri_wt", ri_wt)):
+            if wt is None or getattr(wt, "typecode", None) != "q":
+                raise ValueError(
+                    f"WeightedCSRGraph requires int64 ('q') weight arrays; "
+                    f"{name} is not — use the float CSRGraph for "
+                    "fractional weights"
+                )
+        super().__init__(
+            num_nodes,
+            f_ptr,
+            f_idx,
+            ro_ptr,
+            ro_idx,
+            ri_ptr,
+            ri_idx,
+            f_wt=f_wt,
+            ro_wt=ro_wt,
+            ri_wt=ri_wt,
+            backend=backend,
+        )
+        if node_weight is None:
+            node_weight = array("q", [1]) * num_nodes
+        else:
+            if not isinstance(node_weight, array) or node_weight.typecode != "q":
+                node_weight = array("q", node_weight)
+            if len(node_weight) != num_nodes:
+                raise ValueError(
+                    f"node_weight has length {len(node_weight)}, "
+                    f"expected {num_nodes}"
+                )
+        self.node_weight = node_weight
+
+    @classmethod
+    def from_unit(cls, csr: CSRGraph) -> "WeightedCSRGraph":
+        """Embed an unweighted CSR graph with all-ones weights — the
+        identity contraction, i.e. level 0 of the multilevel hierarchy.
+        Shares the index buffers with the source graph (zero copy)."""
+        if csr.weighted:
+            raise ValueError("from_unit embeds *unweighted* graphs only")
+        one = array("q", [1])
+        return cls(
+            csr.num_nodes,
+            csr.f_ptr,
+            csr.f_idx,
+            csr.ro_ptr,
+            csr.ro_idx,
+            csr.ri_ptr,
+            csr.ri_idx,
+            f_wt=one * len(csr.f_idx),
+            ro_wt=one * len(csr.ro_idx),
+            ri_wt=one * len(csr.ri_idx),
+            backend=csr.backend,
+        )
+
+    def total_node_weight(self) -> int:
+        """Original (level-0) node count this graph represents."""
+        return sum(self.node_weight)
+
+    def weighted_suspicious_size(
+        self, sides: Sequence[int], active: Optional[Sequence[int]] = None
+    ) -> int:
+        """Original-node population of side 1 — every super-node counts
+        its merged members (mirrors ``WeightedPartition.suspicious_size``)."""
+        nw = self.node_weight
+        if active is None:
+            return sum(nw[u] for u in range(self.num_nodes) if sides[u])
+        return sum(
+            nw[u] for u in range(self.num_nodes) if active[u] and sides[u]
+        )
+
+    def __getstate__(self) -> Tuple:
+        return super().__getstate__() + (self.node_weight,)
+
+    def __setstate__(self, state: Tuple) -> None:
+        super().__setstate__(state[:-1])
+        self.node_weight = state[-1]
+
+    def __repr__(self) -> str:
+        return (
+            f"WeightedCSRGraph(nodes={self.num_nodes}, "
+            f"friendships={self.num_friendships}, "
+            f"rejections={self.num_rejections}, "
+            f"total_weight={self.total_node_weight()}, "
+            f"backend={self.backend!r})"
         )
 
 
@@ -617,7 +825,8 @@ class PartitionState:
     the view's active nodes: ``f_cross`` counts active-active cross
     friendships, ``r_cross`` counts rejections cast by active side-0 nodes
     onto active side-1 nodes. On weighted CSR graphs both counters are
-    weight sums (floats).
+    weight sums — exact ``int`` on :class:`WeightedCSRGraph`, ``float``
+    on the float-weighted representation.
     """
 
     __slots__ = ("view", "sides", "locked", "f_cross", "r_cross", "side_sizes")
@@ -647,10 +856,12 @@ class PartitionState:
         """Recompute the counters and side sizes from scratch (O(V+E)).
 
         Unweighted graphs route through
-        :func:`repro.core.kernels.recount_active` (vectorized on the
-        numpy backend, scalar otherwise — bit-identical either way);
-        weighted coarse graphs keep the inline scalar sweep so float
-        summation order stays fixed.
+        :func:`repro.core.kernels.recount_active` and int64-weighted
+        coarse graphs through
+        :func:`repro.core.kernels.weighted_recount_active` (vectorized
+        on the numpy backend, scalar otherwise — bit-identical either
+        way, since both sum integers); float-weighted graphs keep the
+        inline scalar sweep so float summation order stays fixed.
         """
         view = self.view
         csr, active, sides = view.csr, view.active, self.sides
@@ -659,6 +870,12 @@ class PartitionState:
         ones = 0
         if weights is None:
             self.f_cross, self.r_cross, ones = recount_active(view, sides)
+            self.side_sizes = [view.num_active - ones, ones]
+            return
+        if csr.int_weighted:
+            self.f_cross, self.r_cross, ones = weighted_recount_active(
+                view, sides
+            )
             self.side_sizes = [view.num_active - ones, ones]
             return
         fw, ow, _ = weights
@@ -713,13 +930,15 @@ class PartitionState:
                     rej_delta -= sign
         else:
             fw, ow, iw = weights
-            friends_delta = 0.0
+            # Integer literals keep int64-weighted deltas exact ints
+            # (float weights promote on the first addition, as before).
+            friends_delta = 0
             for i in range(fp[u], fp[u + 1]):
                 v = fi[i]
                 if active[v]:
                     friends_delta += fw[i] if sides[v] == s else -fw[i]
-            rej_delta = 0.0
-            sign = -1.0 if s == LEGITIMATE else 1.0
+            rej_delta = 0
+            sign = -1 if s == LEGITIMATE else 1
             for i in range(op[u], op[u + 1]):
                 v = oi[i]
                 if active[v] and sides[v] == SUSPICIOUS:
@@ -763,13 +982,15 @@ class PartitionState:
                     rej_delta -= sign
         else:
             fw, ow, iw = weights
-            friends_delta = 0.0
+            # Integer literals keep int64-weighted deltas exact ints
+            # (float weights promote on the first addition, as before).
+            friends_delta = 0
             for i in range(fp[u], fp[u + 1]):
                 v = fi[i]
                 if active[v]:
                     friends_delta += fw[i] if sides[v] == s else -fw[i]
-            rej_delta = 0.0
-            sign = -1.0 if s == LEGITIMATE else 1.0
+            rej_delta = 0
+            sign = -1 if s == LEGITIMATE else 1
             for i in range(op[u], op[u + 1]):
                 v = oi[i]
                 if active[v] and sides[v] == SUSPICIOUS:
@@ -856,7 +1077,7 @@ class PartitionState:
         f, r = self.f_cross, self.r_cross
         sizes = list(self.side_sizes)
         self.recount()
-        if self.view.csr.weighted:
+        if self.view.csr.weighted and not self.view.csr.int_weighted:
             ok = (
                 abs(f - self.f_cross) < 1e-6
                 and abs(r - self.r_cross) < 1e-6

@@ -23,7 +23,16 @@ module collects those batch kernels in one place:
   CSR *shard block* (a worker-resident slice of the graph, see
   :mod:`repro.cluster.blocks`), so the distributed engine's per-pass
   gain rebuild runs as whole-array kernels on each worker instead of a
-  scalar loop over dict records.
+  scalar loop over dict records;
+* :func:`weighted_gain_deltas` / :func:`weighted_heap_gains` /
+  :func:`weighted_recount_active` — the weighted twins of the three
+  kernels above for int64-weighted coarse graphs
+  (:class:`~repro.core.csr.WeightedCSRGraph`);
+* :func:`heavy_edge_matching` / :func:`matching_to_mapping` /
+  :func:`contract_arrays` — the multilevel coarsening step as flat-array
+  kernels: mutual heaviest-neighbour matching in rounds, matching →
+  coarse-id mapping, and edge/node-weight contraction via int64
+  scatter-adds.
 
 Dispatch follows the graph's ``backend`` attribute: ``"numpy"`` runs the
 vectorized ``_np`` variants over zero-copy ``frombuffer`` views,
@@ -34,14 +43,20 @@ so the engines never see which backend filled their arrays. The
 property tests in ``tests/core/test_kernels.py`` pin each pair to each
 other and to the scalar reference ``PartitionState.switch_gain``.
 
-All kernels are unweighted-only: the weighted multilevel coarse graphs
-keep their scalar paths, where float summation *order* matters for
-reproducibility.
+The unweighted kernels stay unweighted-only, and *float*-weighted
+graphs stay off every batch path (float summation order is part of
+their contract). Int64-weighted graphs are different: contraction of a
+unit-weight augmented graph only ever **sums unit edges**, so coarse
+weights are exact integers, integer sums are order-insensitive, and
+the ``weighted_*`` kernels here are bit-identical across backends just
+like the unweighted ones. That is what restores bucket-index and batch
+eligibility to the weighted multilevel path.
 """
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+from array import array
+from typing import List, Optional, Sequence, Tuple
 
 __all__ = [
     "gain_deltas",
@@ -51,15 +66,39 @@ __all__ = [
     "scaled_gain_bound",
     "shard_gain_deltas",
     "shard_cut_counts",
+    "weighted_gain_deltas",
+    "weighted_heap_gains",
+    "weighted_recount_active",
+    "heavy_edge_matching",
+    "matching_to_mapping",
+    "contract_arrays",
 ]
 
 
 def _check_unweighted(csr) -> None:
     if csr.f_wt is not None:
         raise ValueError(
-            "batch kernels are unweighted-only; weighted coarse graphs "
-            "use the scalar paths (float summation order is part of "
-            "their contract)"
+            "these batch kernels are unweighted-only; int64-weighted "
+            "graphs use the weighted_* twins, float-weighted graphs use "
+            "the scalar paths (float summation order is part of their "
+            "contract)"
+        )
+
+
+def _check_int_weighted(csr) -> None:
+    if csr.f_wt is None or csr.f_wt.typecode != "q":
+        raise ValueError(
+            "weighted kernels require an int64-weighted graph "
+            "(WeightedCSRGraph); float-weighted graphs keep the scalar "
+            "paths, unweighted graphs use the plain kernels"
+        )
+
+
+def _check_not_float_weighted(csr) -> None:
+    if csr.f_wt is not None and csr.f_wt.typecode != "q":
+        raise ValueError(
+            "float-weighted graphs have no exact integer kernels; only "
+            "unweighted and int64-weighted CSR graphs are supported"
         )
 
 
@@ -184,6 +223,169 @@ def heap_gains(view, sides: Sequence[int], k: float) -> List[float]:
 
 
 # ----------------------------------------------------------------------
+# Weighted kernels (int64-weighted coarse graphs)
+# ----------------------------------------------------------------------
+def weighted_gain_deltas(view, sides: Sequence[int]) -> Tuple[List[int], List[int]]:
+    """Weighted per-node ``(friend_delta, rejection_delta)`` of a switch.
+
+    Exactly :func:`gain_deltas` with each edge contributing its int64
+    weight instead of 1, so both entries stay exact integers and both
+    backends are bit-identical. Requires an int64-weighted graph
+    (:func:`_check_int_weighted`); entries for inactive nodes are 0.
+    """
+    csr = view.csr
+    _check_int_weighted(csr)
+    if _use_numpy(csr):
+        return _weighted_gain_deltas_np(view, sides)
+    return _weighted_gain_deltas_py(view, sides)
+
+
+def _weighted_gain_deltas_np(view, sides) -> Tuple[List[int], List[int]]:
+    np, arrs, rows, active = _np_state(view)
+    sides_np = np.asarray(sides, dtype=np.int64)
+    f_row, _, _ = rows
+
+    act_v = active[arrs["f_idx"]]
+    same = sides_np[arrs["f_idx"]] == sides_np[f_row]
+    contrib = np.where(act_v, np.where(same, arrs["f_wt"], -arrs["f_wt"]), 0)
+    fd = _segment_sums(np, contrib, arrs["f_ptr"])
+
+    out_susp = _segment_sums(
+        np,
+        np.where(
+            active[arrs["ro_idx"]] & (sides_np[arrs["ro_idx"]] == 1),
+            arrs["ro_wt"],
+            0,
+        ),
+        arrs["ro_ptr"],
+    )
+    in_legit = _segment_sums(
+        np,
+        np.where(
+            active[arrs["ri_idx"]] & (sides_np[arrs["ri_idx"]] == 0),
+            arrs["ri_wt"],
+            0,
+        ),
+        arrs["ri_ptr"],
+    )
+    rd = (2 * sides_np - 1) * (out_susp - in_legit)
+
+    zero = np.int64(0)
+    fd = np.where(active, fd, zero)
+    rd = np.where(active, rd, zero)
+    return fd.tolist(), rd.tolist()
+
+
+def _weighted_gain_deltas_py(view, sides) -> Tuple[List[int], List[int]]:
+    csr = view.csr
+    fp, fi, op, oi, ip_, ii = csr.hot()
+    fw, ow, iw = csr.hot_weights()
+    active = view.active
+    n = csr.num_nodes
+    fd = [0] * n
+    rd = [0] * n
+    for u in range(n):
+        if not active[u]:
+            continue
+        s = sides[u]
+        acc = 0
+        for i in range(fp[u], fp[u + 1]):
+            v = fi[i]
+            if active[v]:
+                acc += fw[i] if sides[v] == s else -fw[i]
+        fd[u] = acc
+        acc = 0
+        if s:
+            for i in range(op[u], op[u + 1]):
+                v = oi[i]
+                if active[v] and sides[v]:
+                    acc += ow[i]
+            for i in range(ip_[u], ip_[u + 1]):
+                w = ii[i]
+                if active[w] and not sides[w]:
+                    acc -= iw[i]
+        else:
+            for i in range(op[u], op[u + 1]):
+                v = oi[i]
+                if active[v] and sides[v]:
+                    acc -= ow[i]
+            for i in range(ip_[u], ip_[u + 1]):
+                w = ii[i]
+                if active[w] and not sides[w]:
+                    acc += iw[i]
+        rd[u] = acc
+    return fd, rd
+
+
+def weighted_heap_gains(view, sides: Sequence[int], k: float) -> List[float]:
+    """Weighted per-node float gains ``-(fd − k·rd)`` for the heap
+    engine. ``fd``/``rd`` are exact integers, so this is the same single
+    IEEE-double expression as the scalar ``switch_gain`` — bit-identical
+    across backends."""
+    fd, rd = weighted_gain_deltas(view, sides)
+    return [-(fd[u] - k * rd[u]) for u in range(len(fd))]
+
+
+def weighted_recount_active(view, sides: Sequence[int]) -> Tuple[int, int, int]:
+    """Weighted ``(f_cross, r_cross, side1_population)`` over the active
+    mask: cross friendships sum their int64 weights once per unordered
+    pair, cast rejections sum theirs at the caster's row, and the third
+    entry is the plain (unweighted) active side-1 node count that
+    ``PartitionState.side_sizes`` tracks."""
+    csr = view.csr
+    _check_int_weighted(csr)
+    if _use_numpy(csr):
+        return _weighted_recount_np(view, sides)
+    return _weighted_recount_py(view, sides)
+
+
+def _weighted_recount_np(view, sides) -> Tuple[int, int, int]:
+    np, arrs, rows, active = _np_state(view)
+    sides_np = np.asarray(sides, dtype=np.int64)
+    f_row, ro_row, _ = rows
+    f_idx, ro_idx = arrs["f_idx"], arrs["ro_idx"]
+    f_mask = (
+        (f_row < f_idx)
+        & active[f_row]
+        & active[f_idx]
+        & (sides_np[f_row] != sides_np[f_idx])
+    )
+    r_mask = (
+        active[ro_row]
+        & active[ro_idx]
+        & (sides_np[ro_row] == 0)
+        & (sides_np[ro_idx] == 1)
+    )
+    f_cross = int(arrs["f_wt"][f_mask].sum())
+    r_cross = int(arrs["ro_wt"][r_mask].sum())
+    ones = int(np.count_nonzero(active & (sides_np == 1)))
+    return f_cross, r_cross, ones
+
+
+def _weighted_recount_py(view, sides) -> Tuple[int, int, int]:
+    csr = view.csr
+    fp, fi, op, oi, _, _ = csr.hot()
+    fw, ow, _ = csr.hot_weights()
+    active = view.active
+    f_cross = r_cross = ones = 0
+    for u in range(csr.num_nodes):
+        if not active[u]:
+            continue
+        s = sides[u]
+        ones += s
+        for i in range(fp[u], fp[u + 1]):
+            v = fi[i]
+            if u < v and active[v] and sides[v] != s:
+                f_cross += fw[i]
+        if s == 0:
+            for i in range(op[u], op[u + 1]):
+                v = oi[i]
+                if active[v] and sides[v] == 1:
+                    r_cross += ow[i]
+    return f_cross, r_cross, ones
+
+
+# ----------------------------------------------------------------------
 # Boundary counters
 # ----------------------------------------------------------------------
 def recount_active(view, sides: Sequence[int]) -> Tuple[int, int, int]:
@@ -270,7 +472,9 @@ def active_in_rejections(view) -> List[int]:
 # ----------------------------------------------------------------------
 def scaled_gain_bound(csr, resolution: int, k_scaled: int) -> int:
     """Graph-wide bound on the integer-scaled gain magnitude,
-    ``max_u deg_F(u)·res + k_scaled·deg_R(u)``.
+    ``max_u deg_F(u)·res + k_scaled·deg_R(u)`` — with *weighted* degrees
+    on int64-weighted graphs (each edge counts its weight), so the same
+    bound sizes the weighted bucket array exactly.
 
     Computed over *all* nodes: full-graph degrees bound the
     active-filtered ones, so one cached value stays valid for every
@@ -280,23 +484,34 @@ def scaled_gain_bound(csr, resolution: int, k_scaled: int) -> int:
     which memoizes this per ``(resolution, k_scaled)`` across the whole
     ``k``-sweep and Rejecto's rounds.
     """
-    _check_unweighted(csr)
+    _check_not_float_weighted(csr)
     if csr.num_nodes == 0:
         return 0
+    weighted = csr.f_wt is not None
     if _use_numpy(csr):
         import numpy as np
 
         arrs = csr.numpy_arrays()
-        weight = np.diff(arrs["f_ptr"]) * resolution + k_scaled * (
-            np.diff(arrs["ro_ptr"]) + np.diff(arrs["ri_ptr"])
-        )
-        return int(weight.max())
+        if weighted:
+            deg_f = _segment_sums(np, arrs["f_wt"], arrs["f_ptr"])
+            deg_r = _segment_sums(np, arrs["ro_wt"], arrs["ro_ptr"])
+            deg_r = deg_r + _segment_sums(np, arrs["ri_wt"], arrs["ri_ptr"])
+        else:
+            deg_f = np.diff(arrs["f_ptr"])
+            deg_r = np.diff(arrs["ro_ptr"]) + np.diff(arrs["ri_ptr"])
+        return int((deg_f * resolution + k_scaled * deg_r).max())
     fp, _, op, _, ip_, _ = csr.hot()
+    weights = csr.hot_weights()
     bound = 0
     for u in range(csr.num_nodes):
-        weight = (fp[u + 1] - fp[u]) * resolution + k_scaled * (
-            (op[u + 1] - op[u]) + (ip_[u + 1] - ip_[u])
-        )
+        if weighted:
+            fw, ow, iw = weights
+            deg_f = sum(fw[fp[u] : fp[u + 1]])
+            deg_r = sum(ow[op[u] : op[u + 1]]) + sum(iw[ip_[u] : ip_[u + 1]])
+        else:
+            deg_f = fp[u + 1] - fp[u]
+            deg_r = (op[u + 1] - op[u]) + (ip_[u + 1] - ip_[u])
+        weight = deg_f * resolution + k_scaled * deg_r
         if weight > bound:
             bound = weight
     return bound
@@ -432,3 +647,322 @@ def _shard_cut_counts_py(block, sides) -> Tuple[int, int]:
                 if sides[oi[i]] == 1:
                     r_cross += 1
     return f_cross, r_cross
+
+
+# ----------------------------------------------------------------------
+# Multilevel coarsening (heavy-edge matching + contraction)
+# ----------------------------------------------------------------------
+def heavy_edge_matching(
+    csr,
+    priority: Sequence[int],
+    locked: Optional[Sequence[bool]] = None,
+    rounds: int = 4,
+) -> List[int]:
+    """Mutual heaviest-neighbour matching over the friendship layer.
+
+    ``priority`` must be a permutation of ``range(num_nodes)`` — it
+    breaks weight ties deterministically via the composite int64 key
+    ``weight·n + priority[v]`` (unique per neighbour, so the per-row max
+    is unambiguous and both backends agree bit-for-bit). In each round
+    every free node picks its heaviest free neighbour; mutual picks
+    ``cand[u] == v and cand[v] == u`` are matched and removed, and the
+    rounds repeat until no pair forms (at most ``rounds`` times). A
+    final greedy cleanup then resolves the non-mutual leftovers —
+    mutual-only rounds stall on stars, where every leaf picks the hub
+    but the hub answers one leaf per round: candidates are recomputed
+    once more under the current free mask and awarded in ascending node
+    order, a serial O(V) loop both backends run identically.
+    Nodes flagged in ``locked`` are never matched — they survive
+    coarsening as singletons so lock projection stays trivial. Returns
+    ``match`` with ``match[u] == u`` for unmatched nodes. Works on
+    unweighted (unit-weight) and int64-weighted graphs.
+    """
+    _check_not_float_weighted(csr)
+    n = csr.num_nodes
+    if len(priority) != n or sorted(priority) != list(range(n)):
+        raise ValueError("priority must be a permutation of range(num_nodes)")
+    if _use_numpy(csr):
+        return _heavy_edge_matching_np(csr, priority, locked, rounds)
+    return _heavy_edge_matching_py(csr, priority, locked, rounds)
+
+
+def _heavy_edge_matching_py(csr, priority, locked, rounds) -> List[int]:
+    fp, fi, *_ = csr.hot()
+    weights = csr.hot_weights()
+    fw = weights[0] if weights is not None else None
+    n = csr.num_nodes
+    free = [True] * n
+    if locked is not None:
+        for u in range(n):
+            if locked[u]:
+                free[u] = False
+    match = list(range(n))
+    cand = [-1] * n
+    for _ in range(rounds):
+        for u in range(n):
+            best_key = -1
+            best_v = -1
+            if free[u]:
+                for i in range(fp[u], fp[u + 1]):
+                    v = fi[i]
+                    if v == u or not free[v]:
+                        continue
+                    key = (fw[i] if fw is not None else 1) * n + priority[v]
+                    if key > best_key:
+                        best_key = key
+                        best_v = v
+            cand[u] = best_v
+        paired = 0
+        for u in range(n):
+            v = cand[u]
+            if v > u and cand[v] == u:
+                match[u] = v
+                match[v] = u
+                free[u] = free[v] = False
+                paired += 1
+        if paired == 0:
+            break
+    # Greedy cleanup: candidates under the final free mask, resolved
+    # serially in ascending node order.
+    for u in range(n):
+        best_key = -1
+        best_v = -1
+        if free[u]:
+            for i in range(fp[u], fp[u + 1]):
+                v = fi[i]
+                if v == u or not free[v]:
+                    continue
+                key = (fw[i] if fw is not None else 1) * n + priority[v]
+                if key > best_key:
+                    best_key = key
+                    best_v = v
+        cand[u] = best_v
+    for u in range(n):
+        if not free[u]:
+            continue
+        v = cand[u]
+        if v >= 0 and free[v]:
+            match[u] = v
+            match[v] = u
+            free[u] = free[v] = False
+    return match
+
+
+def _heavy_edge_matching_np(csr, priority, locked, rounds) -> List[int]:
+    import numpy as np
+
+    arrs = csr.numpy_arrays()
+    f_row, _, _ = csr.numpy_rows()
+    f_ptr, f_idx = arrs["f_ptr"], arrs["f_idx"]
+    n = csr.num_nodes
+    pr = np.asarray(priority, dtype=np.int64)
+    inv = np.empty(n, dtype=np.int64)
+    inv[pr] = np.arange(n, dtype=np.int64)
+    if "f_wt" in arrs:
+        keys_base = arrs["f_wt"] * n + pr[f_idx]
+    else:
+        keys_base = n + pr[f_idx]
+    free = np.ones(n, dtype=bool)
+    if locked is not None:
+        free &= ~np.asarray(locked, dtype=bool)
+    match = np.arange(n, dtype=np.int64)
+    ids = np.arange(n, dtype=np.int64)
+    nonempty = np.diff(f_ptr) > 0
+    starts = f_ptr[:-1][nonempty]
+    row_max = np.empty(n, dtype=np.int64)
+    for _ in range(rounds):
+        valid = free[f_row] & free[f_idx] & (f_row != f_idx)
+        keys = np.where(valid, keys_base, -1)
+        row_max.fill(-1)
+        if len(starts):
+            row_max[nonempty] = np.maximum.reduceat(keys, starts)
+        row_max[~free] = -1
+        cand = np.where(row_max >= 0, inv[row_max % n], -1)
+        cand_safe = np.where(cand >= 0, cand, 0)
+        mutual = (cand > ids) & (cand[cand_safe] == ids)
+        us = ids[mutual]
+        if not len(us):
+            break
+        vs = cand[us]
+        match[us] = vs
+        match[vs] = us
+        free[us] = False
+        free[vs] = False
+    # Greedy cleanup: one more vectorized candidate computation, then
+    # the same ascending-node-order serial resolution as the python
+    # fallback (free-mask state is identical, so the results are too).
+    valid = free[f_row] & free[f_idx] & (f_row != f_idx)
+    keys = np.where(valid, keys_base, -1)
+    row_max.fill(-1)
+    if len(starts):
+        row_max[nonempty] = np.maximum.reduceat(keys, starts)
+    row_max[~free] = -1
+    cand = np.where(row_max >= 0, inv[row_max % n], -1)
+    free_list = free.tolist()
+    cand_list = cand.tolist()
+    match_list = match.tolist()
+    for u in range(n):
+        if not free_list[u]:
+            continue
+        v = cand_list[u]
+        if v >= 0 and free_list[v]:
+            match_list[u] = v
+            match_list[v] = u
+            free_list[u] = free_list[v] = False
+    return match_list
+
+
+def matching_to_mapping(match: Sequence[int], backend: str) -> Tuple[List[int], int]:
+    """Collapse a matching into ``(mapping, num_coarse)`` where
+    ``mapping[u]`` is ``u``'s coarse node id: the rank of the pair
+    representative ``min(u, match[u])`` among all representatives, so
+    coarse ids follow fine-node order and both backends agree exactly."""
+    if backend == "numpy":
+        import numpy as np
+
+        reps = np.minimum(
+            np.arange(len(match), dtype=np.int64),
+            np.asarray(match, dtype=np.int64),
+        )
+        uniq, inverse = np.unique(reps, return_inverse=True)
+        return inverse.tolist(), len(uniq)
+    mapping = [0] * len(match)
+    next_id = 0
+    for u, v in enumerate(match):
+        if v >= u:
+            mapping[u] = next_id
+            if v > u:
+                mapping[v] = next_id
+            next_id += 1
+    return mapping, next_id
+
+
+def _to_q(np, arr):
+    out = array("q")
+    out.frombytes(np.ascontiguousarray(arr, dtype=np.int64).tobytes())
+    return out
+
+
+def contract_arrays(csr, mapping: Sequence[int], num_coarse: int) -> Tuple:
+    """Contract ``csr`` under ``mapping`` into flat int64 coarse arrays.
+
+    Returns the ten buffers a :class:`~repro.core.csr.WeightedCSRGraph`
+    is built from, in constructor order: ``(f_ptr, f_idx, ro_ptr,
+    ro_idx, ri_ptr, ri_idx, f_wt, ro_wt, ri_wt, node_weight)``. Each
+    coarse edge weight is the exact int64 sum of the fine slots that
+    map onto it (unit weight 1 on unweighted inputs); self-loops
+    (``mapping[u] == mapping[v]``) are dropped, rows come out sorted
+    ascending, and node weights accumulate per coarse node (unit on
+    plain graphs). The numpy path runs ``np.unique`` + ``np.add.at``
+    scatter-adds per layer; the python path sums into per-row dicts —
+    both exact integers, hence bit-identical.
+    """
+    _check_not_float_weighted(csr)
+    if _use_numpy(csr):
+        return _contract_np(csr, mapping, num_coarse)
+    return _contract_py(csr, mapping, num_coarse)
+
+
+def _contract_np(csr, mapping, num_coarse):
+    import numpy as np
+
+    arrs = csr.numpy_arrays()
+    f_row, ro_row, ri_row = csr.numpy_rows()
+    mp = np.asarray(mapping, dtype=np.int64)
+
+    def layer(row, idx, wts):
+        cu = mp[row]
+        cv = mp[idx]
+        keep = cu != cv
+        key = cu[keep] * num_coarse + cv[keep]
+        uniq, inverse = np.unique(key, return_inverse=True)
+        if wts is None:
+            sums = np.bincount(inverse, minlength=len(uniq)).astype(np.int64)
+        else:
+            sums = np.zeros(len(uniq), dtype=np.int64)
+            np.add.at(sums, inverse, wts[keep])
+        counts = np.bincount(uniq // num_coarse, minlength=num_coarse)
+        ptr = np.zeros(num_coarse + 1, dtype=np.int64)
+        np.cumsum(counts, out=ptr[1:])
+        return ptr, uniq % num_coarse, sums
+
+    f_ptr, f_idx, f_wt = layer(f_row, arrs["f_idx"], arrs.get("f_wt"))
+    ro_ptr, ro_idx, ro_wt = layer(ro_row, arrs["ro_idx"], arrs.get("ro_wt"))
+    ri_ptr, ri_idx, ri_wt = layer(ri_row, arrs["ri_idx"], arrs.get("ri_wt"))
+
+    nw = getattr(csr, "node_weight", None)
+    if nw is None:
+        coarse_nw = np.bincount(mp, minlength=num_coarse).astype(np.int64)
+    else:
+        coarse_nw = np.zeros(num_coarse, dtype=np.int64)
+        np.add.at(coarse_nw, mp, np.frombuffer(nw, dtype=np.int64))
+    return (
+        _to_q(np, f_ptr),
+        _to_q(np, f_idx),
+        _to_q(np, ro_ptr),
+        _to_q(np, ro_idx),
+        _to_q(np, ri_ptr),
+        _to_q(np, ri_idx),
+        _to_q(np, f_wt),
+        _to_q(np, ro_wt),
+        _to_q(np, ri_wt),
+        _to_q(np, coarse_nw),
+    )
+
+
+def _contract_py(csr, mapping, num_coarse):
+    fp, fi, op, oi, ip_, ii = csr.hot()
+    weights = csr.hot_weights()
+    fw, ow, iw = weights if weights is not None else (None, None, None)
+    n = csr.num_nodes
+
+    def pack(rows):
+        ptr = array("q", [0]) * (num_coarse + 1)
+        idx = array("q")
+        wt = array("q")
+        total = 0
+        for cu in range(num_coarse):
+            row = rows[cu]
+            total += len(row)
+            ptr[cu + 1] = total
+            for cv in sorted(row):
+                idx.append(cv)
+                wt.append(row[cv])
+        return ptr, idx, wt
+
+    f_rows = [dict() for _ in range(num_coarse)]
+    ro_rows = [dict() for _ in range(num_coarse)]
+    ri_rows = [dict() for _ in range(num_coarse)]
+    for u in range(n):
+        cu = mapping[u]
+        for rows, ptr_a, idx_a, wt_a in (
+            (f_rows, fp, fi, fw),
+            (ro_rows, op, oi, ow),
+            (ri_rows, ip_, ii, iw),
+        ):
+            acc = rows[cu]
+            for i in range(ptr_a[u], ptr_a[u + 1]):
+                cv = mapping[idx_a[i]]
+                if cv == cu:
+                    continue
+                acc[cv] = acc.get(cv, 0) + (wt_a[i] if wt_a is not None else 1)
+
+    nw = getattr(csr, "node_weight", None)
+    coarse_nw = array("q", [0]) * num_coarse
+    for u in range(n):
+        coarse_nw[mapping[u]] += nw[u] if nw is not None else 1
+    f_ptr, f_idx, f_wt = pack(f_rows)
+    ro_ptr, ro_idx, ro_wt = pack(ro_rows)
+    ri_ptr, ri_idx, ri_wt = pack(ri_rows)
+    return (
+        f_ptr,
+        f_idx,
+        ro_ptr,
+        ro_idx,
+        ri_ptr,
+        ri_idx,
+        f_wt,
+        ro_wt,
+        ri_wt,
+        coarse_nw,
+    )

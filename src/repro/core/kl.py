@@ -35,8 +35,10 @@ is asserted in ``tests/core/test_parity.py``):
   :class:`repro.core.csr.PartitionState`. On the default 1/8 ``k`` grid
   it uses an *inlined* integer-scaled bucket list: counter updates and
   neighbour gain adjustments happen in one fused sweep per switched
-  node, with zero per-edge function calls. Off-grid ``k`` (Dinkelbach
-  refinement) and weighted coarse graphs fall back to the lazy heap.
+  node, with zero per-edge function calls. Int64-weighted coarse graphs
+  (the multilevel hierarchy) run a weighted twin of the same fused
+  engine; off-grid ``k`` (Dinkelbach refinement), float-weighted
+  graphs, and weighted residual views fall back to the lazy heap.
 * ``engine="legacy"`` — the original loop over the builder's
   list-of-lists adjacency and the :mod:`repro.core.gains` index objects;
   kept as the parity/benchmark reference.
@@ -50,7 +52,12 @@ from typing import List, Optional, Sequence, Set
 from .csr import PartitionState
 from .gains import HeapGainIndex, _on_grid, make_gain_index
 from .graph import AugmentedSocialGraph
-from .kernels import gain_deltas, heap_gains
+from .kernels import (
+    gain_deltas,
+    heap_gains,
+    weighted_gain_deltas,
+    weighted_heap_gains,
+)
 from .partition import Partition
 
 __all__ = [
@@ -73,7 +80,8 @@ class KLConfig:
     gain_index:
         ``"bucket"`` (FM bucket list), ``"heap"`` (lazy-deletion heap) or
         ``"auto"`` (bucket when ``k`` sits on the ``1/resolution`` grid
-        and the graph is unweighted).
+        and the graph is unweighted — or int64-weighted on an all-active
+        view).
     resolution:
         Grid denominator for the bucket list. With the default geometric
         ``k`` sequence (k = 1/8 · 2^i) every gain is a multiple of 1/8.
@@ -453,6 +461,266 @@ def _run_bucket_passes(
     state.side_sizes = [view.num_active - ones, ones]
 
 
+def _run_bucket_passes_weighted(
+    state: PartitionState, k: float, config: KLConfig, stats: Optional[KLStats]
+) -> None:
+    """The fused FM bucket engine for int64-weighted graphs.
+
+    Same greedy discipline as :func:`_run_bucket_passes` with every edge
+    contributing its integer weight: the bucket index is still the exact
+    integer ``k_scaled·rd − fd·res + offset`` (weighted ``fd``/``rd`` are
+    int64 sums — order-insensitive, hence backend-identical), the bound
+    comes from the weighted :func:`~repro.core.kernels.scaled_gain_bound`
+    via the same memoized :meth:`CSRGraph.bucket_gain_bound`, and the
+    best-prefix comparison is exact integer arithmetic. This is what the
+    integer-weight coarse representation buys: the multilevel refinement
+    sheds the float heap without giving up bit-for-bit reproducibility.
+
+    Weights are positional against the *full* CSR slot arrays, so this
+    engine requires an all-active view (``hot_active`` re-packs slots and
+    would misalign them); the dispatcher falls back to the heap on
+    residual views.
+    """
+    view = state.view
+    csr = view.csr
+    fp, fi, op, oi, ip_, ii = csr.hot()
+    fw, ow, iw = csr.hot_weights()
+    sides = state.sides
+    locked = state.locked
+    n = csr.num_nodes
+    res = config.resolution
+    k_scaled = round(k * res)
+    two_res = 2 * res
+    f_cross = state.f_cross
+    r_cross = state.r_cross
+    stall_limit = config.stall_limit
+
+    bound = csr.bucket_gain_bound(res, k_scaled)
+    offset = bound + 1
+    num_buckets = 2 * bound + 3
+    absent = -1
+
+    eligible = [u for u in range(n) if not locked[u]]
+    gain_b: Optional[List[int]] = None  # start-of-pass bucket index per node
+    dirty: Optional[Set[int]] = None  # None -> full rebuild
+
+    for _ in range(config.max_passes):
+        if stats is not None:
+            stats.passes += 1
+            stats.objective_history.append(f_cross - k * r_cross)
+
+        if (
+            gain_b is None
+            or dirty is None
+            or (csr.backend == "numpy" and 4 * len(dirty) > len(eligible))
+        ):
+            fd_all, rd_all = weighted_gain_deltas(view, sides)
+            if gain_b is None:
+                gain_b = [0] * n
+            for u in eligible:
+                gain_b[u] = k_scaled * rd_all[u] - fd_all[u] * res + offset
+        else:
+            for u in dirty:
+                if locked[u]:
+                    continue
+                s = sides[u]
+                fd = 0
+                for v, w in zip(fi[fp[u] : fp[u + 1]], fw[fp[u] : fp[u + 1]]):
+                    fd += w if sides[v] == s else -w
+                rd = 0
+                if s:
+                    for v, w in zip(
+                        oi[op[u] : op[u + 1]], ow[op[u] : op[u + 1]]
+                    ):
+                        if sides[v]:
+                            rd += w
+                    for v, w in zip(
+                        ii[ip_[u] : ip_[u + 1]], iw[ip_[u] : ip_[u + 1]]
+                    ):
+                        if not sides[v]:
+                            rd -= w
+                else:
+                    for v, w in zip(
+                        oi[op[u] : op[u + 1]], ow[op[u] : op[u + 1]]
+                    ):
+                        if sides[v]:
+                            rd -= w
+                    for v, w in zip(
+                        ii[ip_[u] : ip_[u + 1]], iw[ip_[u] : ip_[u + 1]]
+                    ):
+                        if not sides[v]:
+                            rd += w
+                gain_b[u] = k_scaled * rd - fd * res + offset
+
+        heads = [absent] * num_buckets
+        nxt = [absent] * n
+        prv = [absent] * n
+        bucket_of = [absent] * n
+        max_b = -1
+        size = 0
+
+        for u in eligible:
+            b = gain_b[u]
+            h = heads[b]
+            nxt[u] = h
+            if h >= 0:
+                prv[h] = u
+            heads[b] = u
+            bucket_of[u] = b
+            if b > max_b:
+                max_b = b
+            size += 1
+
+        sequence: List[tuple] = []
+        cumulative = 0
+        best_cumulative = 0
+        best_length = 0
+        stall = 0
+        while size:
+            if stall_limit is not None and stall >= stall_limit:
+                break
+            while heads[max_b] < 0:
+                max_b -= 1
+            b = max_b
+            u = heads[b]
+            nx = nxt[u]
+            heads[b] = nx
+            if nx >= 0:
+                prv[nx] = absent
+            bucket_of[u] = absent
+            size -= 1
+
+            s = sides[u]
+            fd = 0
+            rd = 0
+            for v, w in zip(fi[fp[u] : fp[u + 1]], fw[fp[u] : fp[u + 1]]):
+                if sides[v] == s:
+                    fd += w
+                    d = two_res * w
+                else:
+                    fd -= w
+                    d = -two_res * w
+                bv = bucket_of[v]
+                if bv >= 0:
+                    nbv = bv + d
+                    nx2 = nxt[v]
+                    pv2 = prv[v]
+                    if pv2 >= 0:
+                        nxt[pv2] = nx2
+                    else:
+                        heads[bv] = nx2
+                    if nx2 >= 0:
+                        prv[nx2] = pv2
+                    h = heads[nbv]
+                    nxt[v] = h
+                    prv[v] = absent
+                    if h >= 0:
+                        prv[h] = v
+                    heads[nbv] = v
+                    bucket_of[v] = nbv
+                    if nbv > max_b:
+                        max_b = nbv
+            if s:
+                rs = -k_scaled
+                rd_on_susp = 1
+                rd_on_legit = -1
+            else:
+                rs = k_scaled
+                rd_on_susp = -1
+                rd_on_legit = 1
+            for v, w in zip(oi[op[u] : op[u + 1]], ow[op[u] : op[u + 1]]):
+                if sides[v]:
+                    rd += rd_on_susp * w
+                    d = rs * w
+                else:
+                    d = -rs * w
+                bv = bucket_of[v]
+                if bv >= 0:
+                    nbv = bv + d
+                    nx2 = nxt[v]
+                    pv2 = prv[v]
+                    if pv2 >= 0:
+                        nxt[pv2] = nx2
+                    else:
+                        heads[bv] = nx2
+                    if nx2 >= 0:
+                        prv[nx2] = pv2
+                    h = heads[nbv]
+                    nxt[v] = h
+                    prv[v] = absent
+                    if h >= 0:
+                        prv[h] = v
+                    heads[nbv] = v
+                    bucket_of[v] = nbv
+                    if nbv > max_b:
+                        max_b = nbv
+            for v, w in zip(ii[ip_[u] : ip_[u + 1]], iw[ip_[u] : ip_[u + 1]]):
+                if sides[v]:
+                    d = rs * w
+                else:
+                    rd += rd_on_legit * w
+                    d = -rs * w
+                bv = bucket_of[v]
+                if bv >= 0:
+                    nbv = bv + d
+                    nx2 = nxt[v]
+                    pv2 = prv[v]
+                    if pv2 >= 0:
+                        nxt[pv2] = nx2
+                    else:
+                        heads[bv] = nx2
+                    if nx2 >= 0:
+                        prv[nx2] = pv2
+                    h = heads[nbv]
+                    nxt[v] = h
+                    prv[v] = absent
+                    if h >= 0:
+                        prv[h] = v
+                    heads[nbv] = v
+                    bucket_of[v] = nbv
+                    if nbv > max_b:
+                        max_b = nbv
+
+            f_cross += fd
+            r_cross += rd
+            sides[u] = 1 - s
+            sequence.append((u, fd, rd))
+            cumulative += b - offset
+            if stats is not None:
+                stats.switches_tested += 1
+            if cumulative > best_cumulative:
+                best_cumulative = cumulative
+                best_length = len(sequence)
+                stall = 0
+            else:
+                stall += 1
+
+        for u, fd, rd in reversed(sequence[best_length:]):
+            f_cross -= fd
+            r_cross -= rd
+            sides[u] = 1 - sides[u]
+        if stats is not None:
+            stats.switches_applied += best_length
+        if best_length == 0:
+            break
+        if config.incremental and not (
+            csr.backend == "numpy" and 4 * best_length > len(eligible)
+        ):
+            dirty = set()
+            for u, _, _ in sequence[:best_length]:
+                dirty.add(u)
+                dirty.update(fi[fp[u] : fp[u + 1]])
+                dirty.update(oi[op[u] : op[u + 1]])
+                dirty.update(ii[ip_[u] : ip_[u + 1]])
+        else:
+            dirty = None
+
+    state.f_cross = f_cross
+    state.r_cross = r_cross
+    ones = sum(sides)
+    state.side_sizes = [n - ones, ones]
+
+
 def _run_heap_passes(
     state: PartitionState, k: float, config: KLConfig, stats: Optional[KLStats]
 ) -> None:
@@ -460,12 +728,13 @@ def _run_heap_passes(
 
     Handles arbitrary float ``k`` (Dinkelbach refinement) and weighted
     coarse graphs; same greedy discipline as the bucket engine. Initial
-    gains come from the batch :func:`heap_gains` kernel on the numpy
-    backend (bit-identical — one IEEE-double expression over the same
-    integers) and from ``state.switch_gain`` otherwise; later passes
-    refresh only the dirty frontier. Weighted graphs always take the
-    scalar path, and their dirty refresh is still exact because
-    ``switch_gain`` recomputes from scratch in a fixed summation order.
+    gains come from the batch :func:`heap_gains` /
+    :func:`weighted_heap_gains` kernels on the numpy backend
+    (bit-identical — one IEEE-double expression over the same integers)
+    and from ``state.switch_gain`` otherwise; later passes refresh only
+    the dirty frontier. Only *float*-weighted graphs stay on the scalar
+    path (their summation order is part of the contract); int64-weighted
+    coarse graphs vectorize like unweighted ones.
     """
     view = state.view
     csr = view.csr
@@ -474,7 +743,9 @@ def _run_heap_passes(
     locked = state.locked
     n = csr.num_nodes
     stall_limit = config.stall_limit
-    vectorize = csr.backend == "numpy" and not csr.weighted
+    vectorize = csr.backend == "numpy" and (
+        not csr.weighted or csr.int_weighted
+    )
 
     eligible = [u for u in range(n) if active[u] and not locked[u]]
     gains: Optional[List[float]] = None  # start-of-pass gain per node
@@ -491,7 +762,10 @@ def _run_heap_passes(
             or (vectorize and 4 * len(dirty) > len(eligible))
         ):
             if vectorize:
-                gains = heap_gains(view, sides, k)
+                if csr.weighted:
+                    gains = weighted_heap_gains(view, sides, k)
+                else:
+                    gains = heap_gains(view, sides, k)
             else:
                 if gains is None:
                     gains = [0.0] * n
@@ -569,23 +843,39 @@ def extended_kl_state(
     config = config or KLConfig()
     out = state.copy()
     kind = config.gain_index
-    weighted = out.view.csr.weighted
+    csr = out.view.csr
+    weighted = csr.weighted
+    # The weighted bucket engine indexes the positional weight arrays of
+    # the *full* slot layout, so it needs an all-active view; residual
+    # weighted views fall back to the heap. (Unweighted buckets run on
+    # the re-packed hot_active adjacency, so any view works.)
+    bucket_ok = not weighted or (
+        csr.int_weighted and out.view.num_active == csr.num_nodes
+    )
     if kind == "auto":
         kind = (
-            "bucket" if not weighted and _on_grid(k, config.resolution) else "heap"
+            "bucket" if bucket_ok and _on_grid(k, config.resolution) else "heap"
         )
     if kind == "bucket":
-        if weighted:
+        if weighted and not csr.int_weighted:
             raise ValueError(
-                "the bucket gain index requires an unweighted graph; "
-                "pass gain_index='heap' or 'auto'"
+                "the bucket gain index requires an unweighted or "
+                "int64-weighted graph; pass gain_index='heap' or 'auto'"
+            )
+        if weighted and not bucket_ok:
+            raise ValueError(
+                "the weighted bucket engine requires an all-active view "
+                "(weights are positional); pass gain_index='heap' or 'auto'"
             )
         if not _on_grid(k, config.resolution):
             raise ValueError(
                 f"k={k} is off the 1/{config.resolution} bucket grid; "
                 "pass gain_index='heap' or 'auto'"
             )
-        _run_bucket_passes(out, k, config, stats)
+        if weighted:
+            _run_bucket_passes_weighted(out, k, config, stats)
+        else:
+            _run_bucket_passes(out, k, config, stats)
     elif kind == "heap":
         _run_heap_passes(out, k, config, stats)
     else:

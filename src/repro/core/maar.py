@@ -23,7 +23,7 @@ from .csr import CSRView, PartitionState
 from .graph import AugmentedSocialGraph
 from .kl import KLConfig, KLStats, extended_kl, extended_kl_state
 from .objectives import LEGITIMATE, SUSPICIOUS
-from .parallel import parallel_map
+from .parallel import parallel_map, warn_jobs_ignored
 from .partition import Partition
 
 logger = logging.getLogger(__name__)
@@ -36,6 +36,7 @@ __all__ = [
     "geometric_k_sequence",
     "initial_partition",
     "solve_maar",
+    "sweep_k_states",
 ]
 
 
@@ -324,32 +325,31 @@ def _sweep_k_task(k: float, shared) -> Tuple[List[int], float, float, List[int],
     )
 
 
-def _sweep_candidates(
-    init: PartitionState, config: MAARConfig, stats: KLStats
+def sweep_k_states(
+    init: PartitionState,
+    k_values: Sequence[float],
+    kl_config: Optional[KLConfig] = None,
+    jobs: int = 1,
+    executor: str = "auto",
+    stats: Optional[KLStats] = None,
 ) -> List[PartitionState]:
-    """Run the extended-KL search once per grid ``k``, in grid order.
+    """Run :func:`extended_kl_state` once per ``k``, all from ``init``.
 
-    With ``config.jobs > 1`` (and no warm start, which couples the
-    steps) the independent runs fan out through
-    :func:`repro.core.parallel.parallel_map`; results come back in grid
-    order and per-step stats merge in that same order, so the serial and
-    parallel paths are indistinguishable to the caller.
+    The independent runs fan out through
+    :func:`repro.core.parallel.parallel_map` when ``jobs > 1``; results
+    come back in ``k`` order and per-step stats merge in that same
+    order, so the serial and parallel paths are indistinguishable to the
+    caller (property-tested in ``tests/core/test_parity.py``). Shared by
+    the flat MAAR sweep and the multilevel coarse-level sweep.
     """
-    k_values = config.k_values()
-    if config.jobs > 1 and config.warm_start:
-        logger.warning(
-            "MAARConfig(jobs=%d) ignored: warm_start=True couples the k "
-            "steps (each starts from the previous cut), so the sweep "
-            "runs serially",
-            config.jobs,
-        )
-    if config.jobs > 1 and not config.warm_start and len(k_values) > 1:
+    kl_config = kl_config or KLConfig()
+    if jobs > 1 and len(k_values) > 1:
         outcomes = parallel_map(
             _sweep_k_task,
-            k_values,
-            shared=(init, config.kl),
-            jobs=config.jobs,
-            executor=config.executor,
+            list(k_values),
+            shared=(init, kl_config),
+            jobs=jobs,
+            executor=executor,
         )
         candidates = []
         for sides, f_cross, r_cross, side_sizes, k_stats in outcomes:
@@ -361,16 +361,48 @@ def _sweep_candidates(
             candidate.r_cross = r_cross
             candidate.side_sizes = side_sizes
             candidates.append(candidate)
-            stats.passes += k_stats.passes
-            stats.switches_applied += k_stats.switches_applied
-            stats.switches_tested += k_stats.switches_tested
-            stats.objective_history.extend(k_stats.objective_history)
+            if stats is not None:
+                stats.passes += k_stats.passes
+                stats.switches_applied += k_stats.switches_applied
+                stats.switches_tested += k_stats.switches_tested
+                stats.objective_history.extend(k_stats.objective_history)
         return candidates
+    return [
+        extended_kl_state(init, k, config=kl_config, stats=stats)
+        for k in k_values
+    ]
+
+
+def _sweep_candidates(
+    init: PartitionState, config: MAARConfig, stats: KLStats
+) -> List[PartitionState]:
+    """Run the extended-KL search once per grid ``k``, in grid order.
+
+    With ``config.jobs > 1`` (and no warm start, which couples the
+    steps) the independent runs delegate to :func:`sweep_k_states`.
+    """
+    k_values = config.k_values()
+    if config.jobs > 1 and config.warm_start:
+        warn_jobs_ignored(
+            logger,
+            "MAARConfig",
+            config.jobs,
+            "warm_start=True couples the k steps (each starts from the "
+            "previous cut), so the sweep runs serially",
+        )
+    if not config.warm_start:
+        return sweep_k_states(
+            init,
+            k_values,
+            config.kl,
+            jobs=config.jobs,
+            executor=config.executor,
+            stats=stats,
+        )
     candidates = []
     previous = init
     for k in k_values:
-        start = previous if config.warm_start else init
-        candidate = extended_kl_state(start, k, config=config.kl, stats=stats)
+        candidate = extended_kl_state(previous, k, config=config.kl, stats=stats)
         previous = candidate
         candidates.append(candidate)
     return candidates
@@ -516,10 +548,12 @@ def _solve_maar_legacy(
 ) -> MAARResult:
     """The original sweep over the builder's list-of-lists adjacency."""
     if config.jobs > 1:
-        logger.warning(
-            "MAARConfig(jobs=%d) ignored: the legacy engine has no "
-            "parallel k-sweep; use KLConfig(engine='csr') for fan-out",
+        warn_jobs_ignored(
+            logger,
+            "MAARConfig",
             config.jobs,
+            "the legacy engine has no parallel k-sweep; use "
+            "KLConfig(engine='csr') for fan-out",
         )
     check_seeds(graph.num_nodes, legit_seeds, spammer_seeds)
     locked = [False] * graph.num_nodes

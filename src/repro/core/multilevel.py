@@ -5,9 +5,9 @@ literature the paper's heuristic comes from: Kernighan-Lin/FM is the
 *refinement* step of multilevel partitioners (METIS-style). The solver:
 
 1. **Coarsens** the rejection-augmented graph through successive levels:
-   a randomized heavy-edge matching on the friendship layer merges
-   matched pairs into super-nodes, accumulating friendship and rejection
-   weights (parallel edges sum; intra-pair edges vanish — exactly the
+   a heavy-edge matching on the friendship layer merges matched pairs
+   into super-nodes, accumulating friendship and rejection weights
+   (parallel edges sum; intra-pair edges vanish — exactly the
    contraction semantics that keep every coarse cut's weight equal to
    the projected fine cut's weight);
 2. runs the geometric ``k`` sweep on the **coarsest** graph, where each
@@ -22,22 +22,44 @@ on large graphs — the expensive full-graph sweep happens only at the
 coarsest level — at a small quality cost versus the flat solver
 (measured in ``bench_ablation_multilevel.py``).
 
-Both refinement layers run on the flat-array CSR core: the fine-level
-:func:`repro.core.kl.extended_kl` finalizes the builder once (cached) and
-the coarse :func:`repro.core.weighted.weighted_extended_kl` finalizes each
-weighted level; only the coarsening itself walks the dict adjacency.
+Engines
+-------
+``engine="csr"`` (default) is CSR-native end to end, which makes
+``solve_maar_multilevel`` the recommended entry point for large graphs:
+
+* every level is a flat-array graph — the unit-weight level 0 plus
+  int64-weighted :class:`~repro.core.csr.WeightedCSRGraph` coarse
+  levels (contraction only ever *sums* unit edges, so coarse weights
+  are exact integers);
+* matching and contraction run as batch kernels
+  (:func:`repro.core.kernels.heavy_edge_matching` /
+  :func:`~repro.core.kernels.contract_arrays` — numpy scatter-adds with
+  bit-identical python fallbacks);
+* refinement uses the fused integer bucket engine of
+  :mod:`repro.core.kl` on every level (weighted twin on coarse levels);
+* the coarse-level ``k`` sweep fans out through
+  :func:`repro.core.maar.sweep_k_states`, honouring
+  ``MultilevelConfig(jobs, executor)`` exactly like the flat MAAR sweep.
+
+``engine="legacy"`` keeps the original dict-adjacency coarsening with
+scalar heap-based weighted refinement, as the baseline the benchmark
+measures against; it has no parallel sweep (``jobs > 1`` warns).
 """
 
 from __future__ import annotations
 
 import logging
 import random
+import time
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
+from .csr import CSRGraph, PartitionState, WeightedCSRGraph
 from .graph import AugmentedSocialGraph
-from .kl import KLConfig, extended_kl
-from .maar import geometric_k_sequence
+from .kernels import heavy_edge_matching, matching_to_mapping
+from .kl import KLConfig, extended_kl, extended_kl_state
+from .maar import check_seeds, geometric_k_sequence, sweep_k_states
+from .parallel import warn_jobs_ignored
 from .partition import Partition
 from .objectives import LEGITIMATE, SUSPICIOUS, acceptance_rate
 from .weighted import (
@@ -64,10 +86,18 @@ class MultilevelConfig:
     Coarsening stops when the graph has at most ``coarsest_nodes`` nodes
     or a level shrinks by less than ``min_shrink`` (matching has stalled,
     e.g. on a star). The ``k`` grid mirrors :class:`MAARConfig`.
+
+    ``engine`` selects the CSR-native pipeline (``"csr"``, default) or
+    the original dict-adjacency path (``"legacy"``); ``backend`` is the
+    CSR array backend (``"python"``/``"numpy"``/``"auto"``).
+    ``matching_rounds`` bounds the mutual heavy-edge matching rounds per
+    level. ``jobs``/``executor`` fan the coarse-level ``k`` sweep out
+    through :mod:`repro.core.parallel` (csr engine only — the legacy
+    engine warns and runs serially).
     """
 
     coarsest_nodes: int = 400
-    max_levels: int = 12
+    max_levels: int = 24
     min_shrink: float = 0.05
     k_min: float = 0.125
     k_factor: float = 2.0
@@ -77,16 +107,29 @@ class MultilevelConfig:
     min_suspicious: int = 1
     max_suspicious_fraction: float = 0.6
     seed: int = 0
+    engine: str = "csr"
+    backend: str = "auto"
+    matching_rounds: int = 8
+    jobs: int = 1
+    executor: str = "auto"
 
 
 @dataclass
 class MultilevelResult:
-    """Final fine-level cut plus per-level diagnostics."""
+    """Final fine-level cut plus per-level diagnostics.
+
+    ``timings`` (csr engine) breaks the wall clock down into
+    ``"coarsen"`` (seconds per built level), ``"coarse_sweep"`` (the
+    coarsest-level ``k`` sweep), ``"refine"`` (seconds per uncoarsening
+    level, finest last — the last entry includes the Dinkelbach polish)
+    and ``"total_seconds"``.
+    """
 
     suspicious: List[int]
     acceptance_rate: float
     k: Optional[float]
     level_sizes: List[int] = field(default_factory=list)
+    timings: Dict[str, object] = field(default_factory=dict)
 
     @property
     def found(self) -> bool:
@@ -102,7 +145,8 @@ def random_heavy_edge_matching(
     rng: random.Random,
     locked: Optional[Sequence[bool]] = None,
 ) -> List[int]:
-    """A maximal matching preferring heavy friendship edges.
+    """A maximal matching preferring heavy friendship edges (legacy
+    engine: greedy over a shuffled node order).
 
     Returns ``match`` with ``match[u] == v`` for matched pairs and
     ``match[u] == u`` for singletons. Locked nodes (seeds) are never
@@ -134,12 +178,13 @@ def random_heavy_edge_matching(
 def coarsen(
     graph: WeightedAugmentedGraph, match: Sequence[int]
 ) -> Tuple[WeightedAugmentedGraph, List[int]]:
-    """Contract matched pairs into super-nodes.
+    """Contract matched pairs into super-nodes (legacy dict walk).
 
     Returns ``(coarse_graph, mapping)`` where ``mapping[u]`` is the
     coarse id of fine node ``u``. Edge weights between distinct coarse
     nodes accumulate; edges internal to a merged pair disappear (their
-    endpoints are now the same node).
+    endpoints are now the same node). The csr engine does the same
+    contraction through :func:`repro.core.kernels.contract_arrays`.
     """
     n = graph.num_nodes
     mapping = [-1] * n
@@ -179,8 +224,30 @@ def _is_valid(
     )
 
 
+def _project_coarse_labels(
+    mapping: Sequence[int],
+    num_coarse: int,
+    fine_locked: Sequence[bool],
+    fine_sides: Sequence[int],
+) -> Tuple[List[bool], List[int]]:
+    """Push locks and sides down one level: a super-node is locked iff a
+    member is (locked fine nodes coarsen as singletons, so a locked
+    super-node has exactly one member and inherits its pinned side), and
+    an unlocked super-node is suspicious iff any member is."""
+    coarse_locked = [False] * num_coarse
+    coarse_sides = [LEGITIMATE] * num_coarse
+    for u, cu in enumerate(mapping):
+        if fine_locked[u]:
+            coarse_locked[cu] = True
+            coarse_sides[cu] = fine_sides[u]
+    for u, cu in enumerate(mapping):
+        if not coarse_locked[cu] and fine_sides[u] == SUSPICIOUS:
+            coarse_sides[cu] = SUSPICIOUS
+    return coarse_locked, coarse_sides
+
+
 def solve_maar_multilevel(
-    graph: AugmentedSocialGraph,
+    graph,
     config: Optional[MultilevelConfig] = None,
     legit_seeds: Sequence[int] = (),
     spammer_seeds: Sequence[int] = (),
@@ -189,12 +256,238 @@ def solve_maar_multilevel(
 
     Interface mirrors :func:`repro.core.maar.solve_maar`: returns the
     suspicious node set of the best valid cut (empty when none exists).
+    ``graph`` may be an :class:`AugmentedSocialGraph` builder or (csr
+    engine only) an already-finalized unweighted
+    :class:`~repro.core.csr.CSRGraph`.
     """
     config = config or MultilevelConfig()
+    if config.engine == "legacy":
+        if config.jobs > 1:
+            warn_jobs_ignored(
+                logger,
+                "MultilevelConfig",
+                config.jobs,
+                "the legacy engine has no parallel coarse-level k-sweep; "
+                "use engine='csr' for fan-out",
+            )
+        if not isinstance(graph, AugmentedSocialGraph):
+            raise ValueError(
+                "engine='legacy' needs the mutable AugmentedSocialGraph "
+                f"builder, got {type(graph).__name__}"
+            )
+        return _solve_multilevel_legacy(graph, config, legit_seeds, spammer_seeds)
+    if config.engine != "csr":
+        raise ValueError(f"unknown engine {config.engine!r}")
+    return _solve_multilevel_csr(graph, config, legit_seeds, spammer_seeds)
+
+
+# ----------------------------------------------------------------------
+# CSR engine
+# ----------------------------------------------------------------------
+def _solve_multilevel_csr(
+    graph,
+    config: MultilevelConfig,
+    legit_seeds: Sequence[int],
+    spammer_seeds: Sequence[int],
+) -> MultilevelResult:
+    t_start = time.perf_counter()
+    rng = random.Random(config.seed)
+    if isinstance(graph, AugmentedSocialGraph):
+        csr0 = graph.csr(config.backend)
+    elif isinstance(graph, CSRGraph):
+        if graph.weighted:
+            raise ValueError(
+                "solve_maar_multilevel expects the unweighted fine graph "
+                "(coarse weights are derived internally)"
+            )
+        csr0 = graph
+    else:
+        raise ValueError(
+            f"unsupported graph type {type(graph).__name__}; expected "
+            "AugmentedSocialGraph or CSRGraph"
+        )
+    total_nodes = csr0.num_nodes
+    if total_nodes == 0:
+        return MultilevelResult([], 1.0, None)
+    check_seeds(total_nodes, legit_seeds, spammer_seeds)
+
+    locked = [False] * total_nodes
+    ri_ptr = csr0.ri_ptr
+    init_sides = [
+        SUSPICIOUS if ri_ptr[u + 1] > ri_ptr[u] else LEGITIMATE
+        for u in range(total_nodes)
+    ]
+    for u in legit_seeds:
+        locked[u] = True
+        init_sides[u] = LEGITIMATE
+    for u in spammer_seeds:
+        locked[u] = True
+        init_sides[u] = SUSPICIOUS
+
+    # --- Coarsening phase -------------------------------------------------
+    levels: List[CSRGraph] = [csr0]
+    mappings: List[List[int]] = []
+    locked_levels: List[List[bool]] = [locked]
+    sides_levels: List[List[int]] = [init_sides]
+    coarsen_times: List[float] = []
+    for _ in range(config.max_levels):
+        current = levels[-1]
+        if current.num_nodes <= config.coarsest_nodes:
+            break
+        t_level = time.perf_counter()
+        priority = list(range(current.num_nodes))
+        rng.shuffle(priority)
+        match = heavy_edge_matching(
+            current,
+            priority,
+            locked=locked_levels[-1],
+            rounds=config.matching_rounds,
+        )
+        mapping, num_coarse = matching_to_mapping(match, current.backend)
+        if num_coarse > (1 - config.min_shrink) * current.num_nodes:
+            break
+        coarse = current.contract(mapping, num_coarse)
+        coarse_locked, coarse_sides = _project_coarse_labels(
+            mapping, num_coarse, locked_levels[-1], sides_levels[-1]
+        )
+        levels.append(coarse)
+        mappings.append(mapping)
+        locked_levels.append(coarse_locked)
+        sides_levels.append(coarse_sides)
+        coarsen_times.append(time.perf_counter() - t_level)
+    level_sizes = [g.num_nodes for g in levels]
+    logger.debug("multilevel: %d levels, sizes %s", len(levels), level_sizes)
+
+    def timings(sweep: float = 0.0, refine: Optional[List[float]] = None):
+        return {
+            "coarsen": coarsen_times,
+            "coarse_sweep": sweep,
+            "refine": refine or [],
+            "total_seconds": time.perf_counter() - t_start,
+        }
+
+    # --- Initial partitioning: k sweep on the coarsest level ---------------
+    coarsest = levels[-1]
+    t_sweep = time.perf_counter()
+    init = PartitionState(coarsest.view(), sides_levels[-1], locked_levels[-1])
+    k_values = geometric_k_sequence(config.k_min, config.k_factor, config.k_steps)
+    states = sweep_k_states(
+        init,
+        k_values,
+        KLConfig(max_passes=config.max_passes),
+        jobs=config.jobs,
+        executor=config.executor,
+    )
+    best_sides: Optional[List[int]] = None
+    best_key = (float("inf"), 0.0)
+    best_k: Optional[float] = None
+    for k, state in zip(k_values, states):
+        if isinstance(coarsest, WeightedCSRGraph):
+            size = coarsest.weighted_suspicious_size(state.sides)
+        else:
+            size = state.suspicious_size
+        valid = (
+            config.min_suspicious
+            <= size
+            <= config.max_suspicious_fraction * total_nodes
+            and size < total_nodes
+            and state.r_cross > 0
+        )
+        if not valid:
+            continue
+        rate = acceptance_rate(state.f_cross, state.r_cross)
+        key = (rate, -state.r_cross)
+        if key < best_key:
+            best_key = key
+            best_sides = list(state.sides)
+            best_k = k
+    sweep_time = time.perf_counter() - t_sweep
+    if best_sides is None or best_k is None:
+        return MultilevelResult(
+            [], 1.0, None, level_sizes=level_sizes, timings=timings(sweep_time)
+        )
+
+    # --- Uncoarsening + refinement -----------------------------------------
+    refine_config = KLConfig(max_passes=config.refine_passes)
+    refine_times: List[float] = []
+    sides = best_sides
+    for level in range(len(levels) - 2, 0, -1):
+        t_level = time.perf_counter()
+        mapping = mappings[level]
+        projected = [sides[mapping[u]] for u in range(levels[level].num_nodes)]
+        state = PartitionState(
+            levels[level].view(), projected, locked_levels[level]
+        )
+        sides = extended_kl_state(state, best_k, refine_config).sides
+        refine_times.append(time.perf_counter() - t_level)
+    t_level = time.perf_counter()
+    if mappings:
+        mapping = mappings[0]
+        sides = [sides[mapping[u]] for u in range(total_nodes)]
+    fine = extended_kl_state(
+        PartitionState(csr0.view(), sides, locked), best_k, refine_config
+    )
+    # Dinkelbach polish: re-refine at the cut's own ratio (Theorem 1's
+    # fixpoint), which corrects the coarse level's k estimate.
+    for _ in range(2):
+        if fine.r_cross <= 0:
+            break
+        ratio = fine.f_cross / fine.r_cross
+        if not ratio > 0:
+            break
+        candidate = extended_kl_state(fine, ratio, refine_config)
+        if candidate.acceptance_rate() >= fine.acceptance_rate():
+            break
+        fine = candidate
+        best_k = ratio
+    refine_times.append(time.perf_counter() - t_level)
+
+    suspicious = [u for u, s in enumerate(fine.sides) if s == SUSPICIOUS]
+    size = len(suspicious)
+    valid = (
+        config.min_suspicious
+        <= size
+        <= config.max_suspicious_fraction * total_nodes
+        and size < total_nodes
+        and fine.r_cross > 0
+    )
+    if not valid:
+        return MultilevelResult(
+            [],
+            1.0,
+            None,
+            level_sizes=level_sizes,
+            timings=timings(sweep_time, refine_times),
+        )
+    return MultilevelResult(
+        suspicious=suspicious,
+        acceptance_rate=acceptance_rate(fine.f_cross, fine.r_cross),
+        k=best_k,
+        level_sizes=level_sizes,
+        timings=timings(sweep_time, refine_times),
+    )
+
+
+# ----------------------------------------------------------------------
+# Legacy engine (dict-adjacency coarsening, heap-based refinement)
+# ----------------------------------------------------------------------
+def _solve_multilevel_legacy(
+    graph: AugmentedSocialGraph,
+    config: MultilevelConfig,
+    legit_seeds: Sequence[int],
+    spammer_seeds: Sequence[int],
+) -> MultilevelResult:
     rng = random.Random(config.seed)
     total_nodes = graph.num_nodes
     if total_nodes == 0:
         return MultilevelResult([], 1.0, None)
+    check_seeds(total_nodes, legit_seeds, spammer_seeds)
+
+    # The heap-based weighted KL of the original implementation, kept
+    # behind an explicit config so this path stays the fixed baseline the
+    # benchmark measures the csr engine against.
+    sweep_config = KLConfig(gain_index="heap", max_passes=config.max_passes)
+    refine_config = KLConfig(gain_index="heap", max_passes=config.refine_passes)
 
     # --- Coarsening phase -------------------------------------------------
     fine = WeightedAugmentedGraph.from_graph(graph)
@@ -221,19 +514,9 @@ def solve_maar_multilevel(
         coarse, mapping = coarsen(current, match)
         if coarse.num_nodes > (1 - config.min_shrink) * current.num_nodes:
             break
-        # Project locks and the rejection-init sides down to the coarse
-        # level: a super-node is locked/suspicious if any member is.
-        coarse_locked = [False] * coarse.num_nodes
-        coarse_sides = [LEGITIMATE] * coarse.num_nodes
-        fine_locked = locked_levels[-1]
-        fine_sides = sides_levels[-1]
-        for u, cu in enumerate(mapping):
-            if fine_locked[u]:
-                coarse_locked[cu] = True
-                coarse_sides[cu] = fine_sides[u]
-        for u, cu in enumerate(mapping):
-            if not coarse_locked[cu] and fine_sides[u] == SUSPICIOUS:
-                coarse_sides[cu] = SUSPICIOUS
+        coarse_locked, coarse_sides = _project_coarse_labels(
+            mapping, coarse.num_nodes, locked_levels[-1], sides_levels[-1]
+        )
         levels.append(coarse)
         mappings.append(mapping)
         locked_levels.append(coarse_locked)
@@ -255,7 +538,7 @@ def solve_maar_multilevel(
             k,
             sides_levels[-1],
             locked=locked_levels[-1],
-            max_passes=config.max_passes,
+            config=sweep_config,
         )
         if not _is_valid(partition, total_nodes, config):
             continue
@@ -283,7 +566,7 @@ def solve_maar_multilevel(
             best_k,
             projected,
             locked=locked_levels[level],
-            max_passes=config.refine_passes,
+            config=refine_config,
         )
         sides = refined.sides
     if mappings:

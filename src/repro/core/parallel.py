@@ -55,6 +55,7 @@ __all__ = [
     "fork_available",
     "parallel_map",
     "resolve_executor",
+    "warn_jobs_ignored",
 ]
 
 #: Concrete backend names (``"auto"`` resolves to one of these).
@@ -75,6 +76,18 @@ def available_backends() -> List[str]:
 def default_jobs() -> int:
     """Worker count used when a caller asks for "all cores"."""
     return os.cpu_count() or 1
+
+
+def warn_jobs_ignored(logger, owner: str, jobs: int, reason: str) -> None:
+    """Emit the standard "``jobs`` ignored" warning.
+
+    Every solver that accepts a ``jobs`` knob but cannot honour it for
+    the current configuration (coupled steps, legacy engines, …) warns
+    through this helper so the message shape — *which* config, *how
+    many* jobs, *why* it runs serially — stays uniform and the tests can
+    pin it once.
+    """
+    logger.warning("%s(jobs=%d) ignored: %s", owner, jobs, reason)
 
 
 def resolve_executor(executor: str, jobs: int) -> str:

@@ -11,20 +11,24 @@ friendships and rejections. This module provides:
 * :class:`WeightedPartition` — the incremental MAAR cut counters over
   weighted edges;
 * :func:`weighted_extended_kl` — the single-node-switch KL pass loop of
-  :mod:`repro.core.kl` generalized to weighted edges (heap gains; the FM
-  bucket grid does not apply to arbitrary float weights).
+  :mod:`repro.core.kl` generalized to weighted edges.
 
 Objective semantics are identical to the unweighted case with every
 edge count replaced by a weight sum; an unweighted graph embedded with
 all weights 1 reproduces the plain objective exactly (property-tested).
 
-Weighted graphs deliberately stay off the :mod:`repro.core.kernels`
+Only *float*-weighted graphs stay off the :mod:`repro.core.kernels`
 batch paths: their gains are float *sums*, and the scalar loops fix the
-summation order that is part of the reproducibility contract. They
-still benefit from the shared pass plumbing — heap bulk loading and the
-dirty-frontier incremental passes of :mod:`repro.core.kl` (exact even
-for floats, because ``switch_gain`` recomputes from scratch in that
-fixed order rather than accumulating deltas).
+summation order that is part of the reproducibility contract. But the
+multilevel hierarchy never produces floats — contraction of a
+unit-weight graph only ever sums unit edges, so
+:meth:`repro.core.csr.CSRGraph.from_weighted` finalizes integral
+builders into an int64-weighted
+:class:`~repro.core.csr.WeightedCSRGraph`, whose gains are exact
+integers. Those graphs get the full unweighted treatment: the fused FM
+bucket engine on the on-grid ``k`` sweep, batch numpy kernels with
+bit-identical python fallbacks, and dirty-frontier incremental passes
+(see :mod:`repro.core.kl`).
 """
 
 from __future__ import annotations
@@ -213,14 +217,22 @@ def weighted_extended_kl(
     locked: Optional[Sequence[bool]] = None,
     max_passes: int = 30,
     engine: str = "csr",
+    config: Optional[KLConfig] = None,
 ) -> WeightedPartition:
-    """The extended KL pass loop over weighted edges (heap gains).
+    """The extended KL pass loop over weighted edges.
 
     With ``engine="csr"`` (default) the search runs on the weighted CSR
-    finalization via :func:`repro.core.kl.extended_kl_state`;
-    ``engine="legacy"`` keeps the original dict-adjacency loop. Both
-    follow the same greedy discipline — results may differ only in
-    float-summation order on ties.
+    finalization via :func:`repro.core.kl.extended_kl_state` —
+    integral-weight graphs finalize to int64 and take the fused bucket
+    engine on on-grid ``k`` (``config.gain_index="auto"``), float
+    weights fall back to the heap. ``engine="legacy"`` keeps the
+    original dict-adjacency loop. All follow the same greedy discipline
+    — results may differ only in float-summation order on ties.
+
+    ``config`` overrides the full :class:`~repro.core.kl.KLConfig` for
+    the csr engine (``max_passes`` is ignored then); pass
+    ``KLConfig(gain_index="heap", max_passes=...)`` to reproduce the
+    pre-integer-weight behaviour exactly.
     """
     if k <= 0:
         raise ValueError(f"k must be positive, got {k}")
@@ -229,7 +241,8 @@ def weighted_extended_kl(
         locked = [False] * n
     if engine == "csr":
         state = PartitionState(graph.csr().view(), initial_sides, locked)
-        config = KLConfig(gain_index="heap", max_passes=max_passes)
+        if config is None:
+            config = KLConfig(max_passes=max_passes)
         out = extended_kl_state(state, k, config=config)
         result = WeightedPartition(graph, out.sides)
         return result

@@ -11,10 +11,15 @@ from repro.baselines import (
     SybilFenceConfig,
     SybilRank,
     SybilRankConfig,
+    VoteTrust,
+    VoteTrustConfig,
 )
 from repro.baselines.linalg import (
+    damped_propagate,
     friendship_transition_matrix,
     propagate,
+    request_transition_matrix,
+    resolve_backend,
     weighted_transition_matrix,
 )
 from repro.core import AugmentedSocialGraph
@@ -93,3 +98,85 @@ class TestBackendEquivalence:
             SybilFence(SybilFenceConfig(backend="gpu")).rank(
                 scenario.graph, seeds
             )
+        with pytest.raises(ValueError, match="backend"):
+            VoteTrust(VoteTrustConfig(backend="gpu")).rank(
+                scenario.num_nodes, scenario.request_log, seeds
+            )
+
+    def test_auto_backend_accepted(self, scenario, monkeypatch):
+        monkeypatch.delenv("REPRO_BACKEND", raising=False)
+        assert resolve_backend("auto") in ("python", "numpy")
+        seeds, _ = scenario.sample_seeds(5, 0)
+        auto_scores = SybilRank(SybilRankConfig(backend="auto")).rank(
+            scenario.graph, seeds
+        )
+        python_scores = SybilRank(SybilRankConfig(backend="python")).rank(
+            scenario.graph, seeds
+        )
+        for u in range(scenario.num_nodes):
+            assert auto_scores[u] == pytest.approx(python_scores[u], abs=1e-9)
+
+    def test_repro_backend_env_pins_auto(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "python")
+        assert resolve_backend("auto") == "python"
+
+
+class TestVoteTrustBackends:
+    def test_request_matrix_columns_are_stochastic(self, scenario):
+        pytest.importorskip("scipy")
+        matrix = request_transition_matrix(
+            scenario.num_nodes, scenario.request_log
+        )
+        sums = matrix.sum(axis=0).A1
+        senders = {request.sender for request in scenario.request_log}
+        for u in range(scenario.num_nodes):
+            expected = 1.0 if u in senders else 0.0
+            assert sums[u] == pytest.approx(expected)
+
+    def test_damped_propagate_validation(self):
+        pytest.importorskip("scipy")
+        from repro.attacks import RequestLog
+
+        log = RequestLog()
+        log.record(0, 1, True)
+        matrix = request_transition_matrix(2, log)
+        with pytest.raises(ValueError):
+            damped_propagate(matrix, {0: 1.0}, 0.85, iterations=-1)
+
+    def test_votes_backends_agree(self, scenario):
+        pytest.importorskip("scipy")
+        seeds, _ = scenario.sample_seeds(12, 0)
+        python_votes = VoteTrust(VoteTrustConfig(backend="python")).assign_votes(
+            scenario.num_nodes, scenario.request_log, seeds
+        )
+        numpy_votes = VoteTrust(VoteTrustConfig(backend="numpy")).assign_votes(
+            scenario.num_nodes, scenario.request_log, seeds
+        )
+        assert set(numpy_votes) == set(python_votes)
+        for u, vote in python_votes.items():
+            assert numpy_votes[u] == pytest.approx(vote, abs=1e-9)
+
+    def test_ratings_backends_agree(self, scenario):
+        pytest.importorskip("scipy")
+        seeds, _ = scenario.sample_seeds(12, 0)
+        python_result = VoteTrust(VoteTrustConfig(backend="python")).rank(
+            scenario.num_nodes, scenario.request_log, seeds
+        )
+        numpy_result = VoteTrust(VoteTrustConfig(backend="numpy")).rank(
+            scenario.num_nodes, scenario.request_log, seeds
+        )
+        assert set(numpy_result.ratings) == set(python_result.ratings)
+        for u, rating in python_result.ratings.items():
+            assert numpy_result.ratings[u] == pytest.approx(rating, abs=1e-9)
+
+    def test_detection_backends_agree(self, scenario):
+        pytest.importorskip("scipy")
+        seeds, _ = scenario.sample_seeds(12, 0)
+        count = len(scenario.fakes)
+        python_detected = VoteTrust(VoteTrustConfig(backend="python")).detect(
+            scenario.num_nodes, scenario.request_log, seeds, count
+        )
+        numpy_detected = VoteTrust(VoteTrustConfig(backend="numpy")).detect(
+            scenario.num_nodes, scenario.request_log, seeds, count
+        )
+        assert set(python_detected) == set(numpy_detected)

@@ -153,14 +153,32 @@ class TestWeightedRejected:
         graph.add_friendship(0, 1, 2.0)
         graph.add_rejection(2, 3, 1.5)
         view = graph.csr().view()
+        assert not view.csr.int_weighted
         with pytest.raises(ValueError, match="unweighted-only"):
             gain_deltas(view, [0, 1, 0, 1])
         with pytest.raises(ValueError, match="unweighted-only"):
             recount_active(view, [0, 1, 0, 1])
         with pytest.raises(ValueError, match="unweighted-only"):
             active_in_rejections(view)
-        with pytest.raises(ValueError, match="unweighted-only"):
+        with pytest.raises(ValueError, match="float-weighted"):
             scaled_gain_bound(view.csr, 8, 8)
+
+    def test_unweighted_kernels_refuse_int_weighted_graphs(self):
+        from repro.core.weighted import WeightedAugmentedGraph
+
+        graph = WeightedAugmentedGraph(4)
+        graph.add_friendship(0, 1, 2.0)
+        graph.add_rejection(2, 3, 3.0)
+        view = graph.csr().view()
+        assert view.csr.int_weighted
+        with pytest.raises(ValueError, match="unweighted-only"):
+            gain_deltas(view, [0, 1, 0, 1])
+        with pytest.raises(ValueError, match="unweighted-only"):
+            recount_active(view, [0, 1, 0, 1])
+        # scaled_gain_bound supports int64 weights: weighted degrees
+        # (max over nodes of deg_F·res + k_scaled·deg_R — here node 2's
+        # weight-3 rejection dominates node 0's weight-2 friendship).
+        assert scaled_gain_bound(view.csr, 8, 8) == max(2 * 8, 8 * 3)
 
 
 class TestHeapBulkLoad:

@@ -187,6 +187,76 @@ class TestMultilevelSolver:
         assert result.found
 
 
+class TestMultilevelEngines:
+    @pytest.fixture(scope="class")
+    def scenario(self):
+        return build_scenario(ScenarioConfig(num_legit=800, num_fakes=160, seed=9))
+
+    def test_legacy_engine_still_detects(self, scenario):
+        result = solve_maar_multilevel(
+            scenario.graph, MultilevelConfig(engine="legacy")
+        )
+        assert result.found
+        metrics = precision_recall(result.suspicious, scenario.fakes)
+        assert metrics.recall > 0.9
+
+    def test_csr_backends_agree(self, scenario):
+        pytest.importorskip("numpy")
+        python_result = solve_maar_multilevel(
+            scenario.graph, MultilevelConfig(backend="python")
+        )
+        numpy_result = solve_maar_multilevel(
+            scenario.graph, MultilevelConfig(backend="numpy")
+        )
+        assert python_result.suspicious == numpy_result.suspicious
+        assert python_result.k == numpy_result.k
+        assert python_result.level_sizes == numpy_result.level_sizes
+
+    def test_jobs_do_not_change_the_result(self, scenario):
+        serial = solve_maar_multilevel(scenario.graph, MultilevelConfig(jobs=1))
+        fanned = solve_maar_multilevel(
+            scenario.graph, MultilevelConfig(jobs=2, executor="thread")
+        )
+        assert serial.suspicious == fanned.suspicious
+        assert serial.k == fanned.k
+
+    def test_timings_recorded(self, scenario):
+        result = solve_maar_multilevel(scenario.graph)
+        assert result.found
+        assert len(result.timings["coarsen"]) == result.levels - 1
+        assert result.timings["coarse_sweep"] > 0
+        # One refine entry per uncoarsening step plus the finest level.
+        assert len(result.timings["refine"]) == result.levels - 1
+        assert result.timings["total_seconds"] > 0
+
+    def test_accepts_finalized_csr_graph(self, scenario):
+        from_builder = solve_maar_multilevel(scenario.graph)
+        from_csr = solve_maar_multilevel(scenario.graph.csr())
+        assert from_csr.suspicious == from_builder.suspicious
+
+    def test_legacy_engine_warns_when_jobs_ignored(self, scenario, caplog):
+        import logging
+
+        with caplog.at_level(logging.WARNING, logger="repro.core.multilevel"):
+            solve_maar_multilevel(
+                scenario.graph, MultilevelConfig(engine="legacy", jobs=4)
+            )
+        assert any(
+            "MultilevelConfig(jobs=4) ignored" in record.getMessage()
+            for record in caplog.records
+        )
+
+    def test_unknown_engine_rejected(self, scenario):
+        with pytest.raises(ValueError, match="engine"):
+            solve_maar_multilevel(scenario.graph, MultilevelConfig(engine="gpu"))
+
+    def test_legacy_engine_requires_builder(self, scenario):
+        with pytest.raises(ValueError, match="builder"):
+            solve_maar_multilevel(
+                scenario.graph.csr(), MultilevelConfig(engine="legacy")
+            )
+
+
 @given(augmented_graphs(max_nodes=16, max_edges=40))
 @settings(max_examples=25, deadline=None)
 def test_weighted_kl_reaches_a_valid_local_minimum_on_unit_weights(graph):
