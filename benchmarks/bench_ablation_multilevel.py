@@ -30,19 +30,24 @@ import json
 import time
 from pathlib import Path
 
-from benchmeta import bench_metadata
+from benchmeta import acquisition_record, bench_metadata
 from repro.attacks import ScenarioConfig, build_scenario
 from repro.core import solve_maar, solve_maar_multilevel
+from repro.core.csr import CSRGraph
 from repro.core.multilevel import MultilevelConfig
 from repro.metrics import precision_recall
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 OUTPUT_PATH = REPO_ROOT / "BENCH_multilevel.json"
+#: Packed large-scenario snapshots (plus fake-id sidecars) live here, so
+#: re-running the benchmark opens in milliseconds instead of rebuilding.
+CACHE_DIR = REPO_ROOT / ".bench_cache"
 
 FULL_SCALES = ((1500, 300), (3000, 600))
 SMOKE_SCALES = ((400, 80),)
 LARGE_DATASET = "soc-Slashdot"  # 82,168 catalog nodes at scale 1.0
 LARGE_FAKES = 20_000
+LARGE_SEED = 7
 ROUNDS = 3
 
 
@@ -108,33 +113,61 @@ def engine_ablation(scales, rounds=ROUNDS, with_flat=True):
     return rows
 
 
-def large_graph_solve(num_fakes=LARGE_FAKES):
-    """One end-to-end csr-engine solve on the ~100k-node scenario."""
-    build_start = time.perf_counter()
+def acquire_large_scenario(num_fakes=LARGE_FAKES, cache_dir=CACHE_DIR):
+    """The ~100k-node scenario graph, snapshot-cached.
+
+    First call builds the scenario, packs its finalized CSR into the
+    bench cache (plus a sidecar with the injected fake ids), and reports
+    ``build_seconds``; later calls memory-map the snapshot and report
+    ``load_seconds`` — the cold-start-free path. Returns
+    ``(csr, fakes, acquisition)``.
+    """
+    snap = cache_dir / f"{LARGE_DATASET}-fakes{num_fakes}-seed{LARGE_SEED}.csrbin"
+    sidecar = snap.with_suffix(".fakes.json")
+    if snap.exists() and sidecar.exists():
+        start = time.perf_counter()
+        csr = CSRGraph.open(snap)
+        load_seconds = time.perf_counter() - start
+        fakes = set(json.loads(sidecar.read_text()))
+        return csr, fakes, acquisition_record(
+            load_seconds=load_seconds, source="snapshot"
+        )
+    start = time.perf_counter()
     scenario = build_scenario(
         ScenarioConfig(
             dataset=LARGE_DATASET,
             num_legit=None,
             scale=1.0,
             num_fakes=num_fakes,
-            seed=7,
+            seed=LARGE_SEED,
         )
     )
-    build_seconds = time.perf_counter() - build_start
-    scenario.graph.csr()  # finalize outside the timed solve
+    csr = scenario.graph.csr()
+    build_seconds = time.perf_counter() - start
+    cache_dir.mkdir(parents=True, exist_ok=True)
+    csr.save(snap)
+    sidecar.write_text(json.dumps(sorted(scenario.fakes)))
+    return csr, set(scenario.fakes), acquisition_record(
+        build_seconds=build_seconds, source="generated"
+    )
+
+
+def large_graph_solve(num_fakes=LARGE_FAKES):
+    """One end-to-end csr-engine solve on the ~100k-node scenario."""
+    csr, fakes, acquisition = acquire_large_scenario(num_fakes)
     seconds, result = _best_of(
-        lambda: solve_maar_multilevel(scenario.graph), rounds=1
+        lambda: solve_maar_multilevel(csr), rounds=1
     )
     return {
         "dataset": LARGE_DATASET,
-        "nodes": scenario.graph.num_nodes,
-        "friendships": scenario.graph.num_friendships,
-        "rejections": scenario.graph.num_rejections,
-        "scenario_build_seconds": build_seconds,
+        "nodes": csr.num_nodes,
+        "friendships": csr.num_friendships,
+        "rejections": csr.num_rejections,
+        "acquisition": acquisition,
         "solve_seconds": seconds,
         "per_level_timings": result.timings,
         "level_sizes": result.level_sizes,
-        **_quality(result, scenario.fakes),
+        **_quality(result, fakes),
     }
 
 

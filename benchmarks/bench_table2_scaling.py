@@ -25,12 +25,15 @@ the CI guard for the cluster wire format.
 
 import json
 import sys
+import tempfile
 import time
 from pathlib import Path
 
 from benchmeta import bench_metadata, cluster_stats_payload
 from repro.attacks import ScenarioConfig, build_scenario
+from repro.cluster import ClusterConfig, ClusterRunStats, distributed_maar
 from repro.core import KLConfig, MAARConfig, solve_maar
+from repro.core.csr import CSRGraph
 from repro.experiments import ScalingConfig, scaling_study
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
@@ -86,6 +89,7 @@ def cluster_row_payload(row):
         "users": row.users,
         "edges": row.edges,
         "rejections": row.rejections,
+        "build_seconds": row.build_seconds,
         "wall_seconds": row.wall_seconds,
         "microseconds_per_edge": row.microseconds_per_edge,
         "network_messages": row.network_messages,
@@ -107,6 +111,58 @@ def cluster_row_payload(row):
     return payload
 
 
+def run_shard_transport(users=4000, k_steps=2, seed=7):
+    """Payload-mode vs reference-mode distribution, same graph.
+
+    Packs the scenario graph into a snapshot, runs the full distributed
+    sweep once per transport, asserts the results are identical, and
+    reports the upload-byte reduction the shard references deliver.
+    """
+    num_fakes = max(10, users // 10)
+    scenario = build_scenario(
+        ScenarioConfig(num_legit=users - num_fakes, num_fakes=num_fakes, seed=seed)
+    )
+    csr = scenario.graph.csr()
+    maar = MAARConfig(k_steps=k_steps)
+    runs = {}
+    with tempfile.TemporaryDirectory() as tmp:
+        snap = Path(tmp) / "scenario.csrbin"
+        csr.save(snap)
+        for transport, graph in (
+            ("payload", csr),
+            ("reference", CSRGraph.open(snap)),
+        ):
+            stats = ClusterRunStats()
+            start = time.perf_counter()
+            nodes, rate, k = distributed_maar(
+                graph,
+                cluster_config=ClusterConfig(shard_transport=transport),
+                maar_config=maar,
+                stats=stats,
+            )
+            runs[transport] = {
+                "result": (tuple(nodes), rate, k),
+                "wall_seconds": time.perf_counter() - start,
+                "upload_bytes": stats.network.bytes_by_kind.get("upload", 0),
+                "total_bytes": stats.network.bytes_sent,
+                "bytes_avoided": stats.network.bytes_avoided,
+            }
+    assert runs["payload"]["result"] == runs["reference"]["result"], (
+        "shard-reference mode must be bit-identical to payload mode"
+    )
+    result = runs["payload"].pop("result")
+    runs["reference"].pop("result")
+    return {
+        "users": users,
+        "suspicious": len(result[0]),
+        "identical_results": True,
+        "payload": runs["payload"],
+        "reference": runs["reference"],
+        "upload_reduction": runs["payload"]["upload_bytes"]
+        / max(1, runs["reference"]["upload_bytes"]),
+    }
+
+
 def run_table2(config=CONFIG):
     """The full Table II payload: cluster study + engine comparison."""
     study = scaling_study(config)
@@ -114,6 +170,7 @@ def run_table2(config=CONFIG):
         "meta": bench_metadata(),
         "cluster_scaling": [cluster_row_payload(row) for row in study.rows],
         "engine_scaling": run_engine_scaling(),
+        "shard_transport": run_shard_transport(),
     }
 
 
@@ -126,10 +183,10 @@ def run_smoke():
     """CI guard: a two-size study with full wire-protocol assertions.
 
     Verifies the sharded engine end to end — per-kind byte accounting,
-    delta broadcasts actually in use, prefetching effective — without
+    delta broadcasts actually in use, prefetching effective, and
+    shard-reference distribution bit-identical to payloads — without
     touching ``BENCH_table2.json``.
     """
-    from repro.cluster import ClusterConfig, ClusterRunStats, distributed_maar
     from repro.core import MAARConfig as MC
 
     config = ScalingConfig(user_counts=(400, 800), k_steps=2)
@@ -155,6 +212,13 @@ def run_smoke():
     assert "delta" in kinds, "multi-pass runs must emit delta broadcasts"
     assert stats.network.by_kind["delta"] % ClusterConfig().num_workers == 0
     assert sum(kinds.values()) == stats.network.bytes_sent
+
+    # Shard references: identical results, and the distribution upload
+    # shrinks by at least an order of magnitude even at smoke scale.
+    comparison = run_shard_transport(users=600, k_steps=2)
+    assert comparison["identical_results"]
+    assert comparison["reference"]["bytes_avoided"] > 0
+    assert comparison["upload_reduction"] > 10, comparison["upload_reduction"]
     print(json.dumps(cluster_stats_payload(stats), indent=2, sort_keys=True))
     print("table2 smoke OK")
 

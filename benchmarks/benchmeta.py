@@ -47,4 +47,23 @@ def cluster_stats_payload(stats) -> dict:
         "network_bytes": stats.network.bytes_sent,
         "messages_by_kind": dict(stats.network.by_kind),
         "bytes_by_kind": dict(stats.network.bytes_by_kind),
+        "bytes_avoided": stats.network.bytes_avoided,
+        "avoided_by_kind": dict(stats.network.avoided_by_kind),
+    }
+
+
+def acquisition_record(
+    build_seconds=None, load_seconds=None, source="generated"
+) -> dict:
+    """How a benchmark got its graph, stamped next to every solve time.
+
+    Exactly one of ``build_seconds`` (generated or parsed from text) and
+    ``load_seconds`` (opened from a binary snapshot) should be set, so
+    reports state cold-start cost honestly instead of folding it into —
+    or silently dropping it from — the solve wall clock.
+    """
+    return {
+        "source": source,
+        "build_seconds": build_seconds,
+        "load_seconds": load_seconds,
     }

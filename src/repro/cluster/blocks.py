@@ -33,13 +33,15 @@ from array import array
 from bisect import bisect_right
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..core.kernels import shard_cut_counts, shard_gain_deltas
+from ..core.kernels import buffer_tolist, shard_cut_counts, shard_gain_deltas
 
 __all__ = [
     "ShardBlock",
+    "BlockRef",
     "BlockSlices",
     "ShardedCSR",
     "partition_bounds",
+    "block_payload_bytes",
     "MESSAGE_HEADER_BYTES",
     "COUNTER_BYTES",
     "SIDE_BYTE",
@@ -54,6 +56,19 @@ COUNTER_BYTES = 16
 SIDE_BYTE = 1
 #: Wire width of one node id / pointer / gain (int64 / float64).
 INT_BYTES = 8
+
+
+def block_payload_bytes(csr, lo: int, hi: int) -> int:
+    """Exact wire size a ``[lo, hi)`` block upload *would* cost, read
+    straight off the graph's pointer arrays — no block is built. This is
+    what reference-mode distribution charges as avoided bytes."""
+    f_ptr, ro_ptr, ri_ptr = csr.f_ptr, csr.ro_ptr, csr.ri_ptr
+    elements = 3 * (hi - lo + 1) + (
+        (int(f_ptr[hi]) - int(f_ptr[lo]))
+        + (int(ro_ptr[hi]) - int(ro_ptr[lo]))
+        + (int(ri_ptr[hi]) - int(ri_ptr[lo]))
+    )
+    return MESSAGE_HEADER_BYTES + INT_BYTES * elements
 
 
 def partition_bounds(num_nodes: int, num_partitions: int) -> List[int]:
@@ -191,13 +206,16 @@ class ShardBlock:
         """Cached plain-list views, mirroring :meth:`CSRGraph.hot`."""
         cache = self._hot_cache
         if cache is None:
+            # buffer_tolist (not list()) so blocks sliced as views of a
+            # memory-mapped snapshot still yield native ints here — the
+            # scalar kernels' backend parity depends on it.
             cache = (
-                list(self.f_ptr),
-                list(self.f_idx),
-                list(self.ro_ptr),
-                list(self.ro_idx),
-                list(self.ri_ptr),
-                list(self.ri_idx),
+                buffer_tolist(self.f_ptr),
+                buffer_tolist(self.f_idx),
+                buffer_tolist(self.ro_ptr),
+                buffer_tolist(self.ro_idx),
+                buffer_tolist(self.ri_ptr),
+                buffer_tolist(self.ri_idx),
             )
             self._hot_cache = cache
         return cache
@@ -209,13 +227,20 @@ class ShardBlock:
         if cache is None:
             import numpy as np
 
+            def view(buf):
+                # frombuffer keeps array("q") zero-copy; asarray keeps
+                # the ndarray views a snapshot-mapped block slices out.
+                if isinstance(buf, array):
+                    return np.frombuffer(buf, dtype=np.int64)
+                return np.asarray(buf, dtype=np.int64)
+
             cache = {
-                "f_ptr": np.frombuffer(self.f_ptr, dtype=np.int64),
-                "f_idx": np.frombuffer(self.f_idx, dtype=np.int64),
-                "ro_ptr": np.frombuffer(self.ro_ptr, dtype=np.int64),
-                "ro_idx": np.frombuffer(self.ro_idx, dtype=np.int64),
-                "ri_ptr": np.frombuffer(self.ri_ptr, dtype=np.int64),
-                "ri_idx": np.frombuffer(self.ri_idx, dtype=np.int64),
+                "f_ptr": view(self.f_ptr),
+                "f_idx": view(self.f_idx),
+                "ro_ptr": view(self.ro_ptr),
+                "ro_idx": view(self.ro_idx),
+                "ri_ptr": view(self.ri_ptr),
+                "ri_idx": view(self.ri_idx),
             }
             rows = np.arange(self.num_nodes, dtype=np.int64)
             cache["f_row"] = np.repeat(rows, np.diff(cache["f_ptr"]))
@@ -264,6 +289,45 @@ class ShardBlock:
             f"ShardBlock([{self.lo}, {self.hi}), edges={self.num_edges}, "
             f"backend={self.backend!r})"
         )
+
+
+class BlockRef:
+    """The wire form of a shard block when a snapshot file backs the
+    graph: the snapshot path plus the block's node bounds, instead of
+    the six flat arrays.
+
+    A reference costs a fixed header plus the path string and two int64
+    bounds — O(1) regardless of block size — and the receiving worker
+    *maps* its slice out of the shared snapshot
+    (:func:`repro.core.storage.open_snapshot_cached` +
+    :meth:`CSRGraph.block_arrays`), so distribution ships kilobytes
+    where payload mode ships the graph. The master-side accounting
+    records the difference as avoided bytes
+    (:class:`repro.cluster.netsim.NetworkStats`).
+    """
+
+    __slots__ = ("path", "lo", "hi")
+
+    def __init__(self, path: str, lo: int, hi: int) -> None:
+        self.path = path
+        self.lo, self.hi = lo, hi
+
+    def payload_bytes(self) -> int:
+        """Exact wire size of the reference message: header, the UTF-8
+        path, and the two int64 bounds."""
+        return MESSAGE_HEADER_BYTES + len(self.path.encode("utf-8")) + 2 * INT_BYTES
+
+    def materialize(self, backend: str = "auto") -> ShardBlock:
+        """Map the referenced slice out of the snapshot. Workers share
+        one cached open per file, so N blocks of the same graph cost one
+        mapping — the in-process analogue of shared read-only pages."""
+        from ..core.storage import open_snapshot_cached
+
+        csr = open_snapshot_cached(self.path, mode="mmap", backend=backend)
+        return ShardBlock.from_csr(csr, self.lo, self.hi)
+
+    def __repr__(self) -> str:
+        return f"BlockRef({self.path!r}, [{self.lo}, {self.hi}))"
 
 
 class ShardedCSR:

@@ -74,7 +74,13 @@ class ClusterConfig:
     status-sync protocol: ``"delta"`` (default) ships only switched node
     ids between passes, ``"full"`` re-broadcasts the whole side vector
     every pass (the ablation reference — results are identical either
-    way, only the wire bytes differ).
+    way, only the wire bytes differ). ``shard_transport`` selects how
+    blocks reach the workers: ``"auto"`` (default) ships O(1) snapshot
+    references when the graph was opened from a ``.csrbin`` snapshot
+    and falls back to array payloads otherwise; ``"payload"`` /
+    ``"reference"`` force one mode (reference requires a snapshot-backed
+    graph). Results are identical either way — only the distribution
+    bytes differ, recorded as ``NetworkStats.bytes_avoided``.
     """
 
     num_workers: int = 5
@@ -86,12 +92,18 @@ class ClusterConfig:
     max_passes: int = 30
     replication: int = 1
     broadcast_mode: str = "delta"
+    shard_transport: str = "auto"
 
     def __post_init__(self) -> None:
         if self.broadcast_mode not in ("delta", "full"):
             raise ValueError(
                 f"broadcast_mode must be 'delta' or 'full', "
                 f"got {self.broadcast_mode!r}"
+            )
+        if self.shard_transport not in ("auto", "payload", "reference"):
+            raise ValueError(
+                f"shard_transport must be 'auto', 'payload', or "
+                f"'reference', got {self.shard_transport!r}"
             )
 
 
@@ -141,7 +153,9 @@ class DistributedKL:
             replication=self.config.replication,
         )
         self.sharded = self.context.distribute_csr(
-            csr, self.config.num_partitions
+            csr,
+            self.config.num_partitions,
+            transport=self.config.shard_transport,
         )
         # Degree maxima for the gain-bound computation at each k. A bound
         # from two different nodes is looser than the per-node maximum,

@@ -49,6 +49,11 @@ class NetworkStats:
     bytes_sent: int = 0
     by_kind: Dict[str, int] = field(default_factory=dict)
     bytes_by_kind: Dict[str, int] = field(default_factory=dict)
+    #: Bytes a cheaper protocol did *not* put on the wire — e.g. shard
+    #: blocks shipped as snapshot references instead of array payloads.
+    #: Not part of ``bytes_sent``; purely a savings ledger.
+    bytes_avoided: int = 0
+    avoided_by_kind: Dict[str, int] = field(default_factory=dict)
 
     def simulated_seconds(self, model: NetworkModel) -> float:
         return model.transfer_time(self.messages, self.bytes_sent)
@@ -71,6 +76,16 @@ class NetworkSimulator:
         self.stats.by_kind[kind] = self.stats.by_kind.get(kind, 0) + messages
         self.stats.bytes_by_kind[kind] = (
             self.stats.bytes_by_kind.get(kind, 0) + payload_bytes
+        )
+
+    def avoided(self, kind: str, payload_bytes: int) -> None:
+        """Record bytes that would have travelled under the baseline
+        protocol but did not (snapshot references vs block payloads)."""
+        if payload_bytes < 0:
+            raise ValueError("payload_bytes must be non-negative")
+        self.stats.bytes_avoided += payload_bytes
+        self.stats.avoided_by_kind[kind] = (
+            self.stats.avoided_by_kind.get(kind, 0) + payload_bytes
         )
 
     def reset(self) -> NetworkStats:

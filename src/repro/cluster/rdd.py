@@ -20,7 +20,13 @@ import itertools
 from array import array
 from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
-from .blocks import ShardBlock, ShardedCSR, partition_bounds
+from .blocks import (
+    BlockRef,
+    ShardBlock,
+    ShardedCSR,
+    block_payload_bytes,
+    partition_bounds,
+)
 from .netsim import NetworkSimulator
 from .worker import Worker
 
@@ -154,27 +160,60 @@ class ClusterContext:
             worker.store_partition(key, records)
             self.network.send("upload", estimate_bytes(records))
 
-    def distribute_csr(self, csr, num_partitions: int) -> ShardedCSR:
+    def distribute_csr(
+        self, csr, num_partitions: int, transport: str = "auto"
+    ) -> ShardedCSR:
         """Shard a finalized :class:`CSRGraph` across the workers as
         contiguous :class:`ShardBlock` ranges.
 
-        Each partition's block is installed on all its replicas, with the
-        upload charged at the block's exact flat-array wire size. Returns
-        the master-side :class:`ShardedCSR` handle (bounds + keys only).
+        ``transport`` picks how blocks travel. ``"payload"`` installs
+        each partition's block on its replicas with the upload charged at
+        the block's exact flat-array wire size. ``"reference"`` requires
+        a snapshot-backed graph (``csr.snapshot_path`` set by
+        :meth:`CSRGraph.open`) and ships O(1) :class:`BlockRef` messages
+        instead — workers map their slices out of the shared file on
+        first access, and the payload bytes that did *not* travel are
+        recorded as ``bytes_avoided``. ``"auto"`` (default) uses
+        references exactly when the graph is snapshot-backed. Returns the
+        master-side :class:`ShardedCSR` handle (bounds + keys only).
         """
         if num_partitions < 1:
             raise ValueError(f"num_partitions must be >= 1, got {num_partitions}")
+        if transport not in ("auto", "payload", "reference"):
+            raise ValueError(
+                f"transport must be 'auto', 'payload', or 'reference', "
+                f"got {transport!r}"
+            )
+        snapshot_path = getattr(csr, "snapshot_path", None)
+        if transport == "reference" and snapshot_path is None:
+            raise ValueError(
+                "transport='reference' requires a snapshot-backed graph "
+                "(open it with CSRGraph.open, or pack it first)"
+            )
+        use_refs = snapshot_path is not None and transport != "payload"
         bounds = partition_bounds(csr.num_nodes, num_partitions)
         sharded = ShardedCSR(next(self._next_shard_id), bounds, csr.backend)
         for pid in range(num_partitions):
             lo, hi = sharded.range_of(pid)
-            block = ShardBlock.from_csr(csr, lo, hi)
             key = sharded.key(pid)
-            for worker in self.workers_for(pid):
-                if not worker.alive:
-                    continue
-                worker.store_block(key, block)
-                self.network.send("upload", block.payload_bytes())
+            if use_refs:
+                ref = BlockRef(snapshot_path, lo, hi)
+                full_bytes = block_payload_bytes(csr, lo, hi)
+                for worker in self.workers_for(pid):
+                    if not worker.alive:
+                        continue
+                    worker.store_block_ref(key, ref)
+                    self.network.send("upload", ref.payload_bytes())
+                    self.network.avoided(
+                        "upload", max(0, full_bytes - ref.payload_bytes())
+                    )
+            else:
+                block = ShardBlock.from_csr(csr, lo, hi)
+                for worker in self.workers_for(pid):
+                    if not worker.alive:
+                        continue
+                    worker.store_block(key, block)
+                    self.network.send("upload", block.payload_bytes())
         return sharded
 
     def block_replica_for(self, partition_id: int, key) -> Worker:

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
-from .blocks import BlockSlices, ShardBlock
+from .blocks import BlockRef, BlockSlices, ShardBlock
 
 __all__ = ["Worker", "WorkerFailure"]
 
@@ -46,6 +46,9 @@ class Worker:
         self.cache: Dict[tuple, List[Any]] = {}
         #: storage key -> resident CSR shard block
         self.blocks: Dict[Any, ShardBlock] = {}
+        #: storage key -> snapshot reference, materialized into
+        #: ``blocks`` on first access (reference-mode distribution)
+        self.block_refs: Dict[Any, BlockRef] = {}
         #: local replica of the master's side vector (delta-synced)
         self.sides: Optional[List[int]] = None
         self._sides_np = None
@@ -60,6 +63,7 @@ class Worker:
         self.partitions.clear()
         self.cache.clear()
         self.blocks.clear()
+        self.block_refs.clear()
         self.sides = None
         self._sides_np = None
 
@@ -83,8 +87,27 @@ class Worker:
         self._check_alive()
         self.blocks[key] = block
 
+    def store_block_ref(self, key: Any, ref: BlockRef) -> None:
+        """Install a snapshot *reference* for a block. The adjacency is
+        mapped out of the shared snapshot file on first access, not
+        shipped over the wire."""
+        self._check_alive()
+        self.block_refs[key] = ref
+
     def has_block(self, key: Any) -> bool:
-        return key in self.blocks
+        return key in self.blocks or key in self.block_refs
+
+    def _resolve_block(self, key: Any) -> Optional[ShardBlock]:
+        """The resident block for ``key``, materializing a stored
+        reference on first use (maps the slice; no network traffic —
+        the file is local to every worker by construction)."""
+        block = self.blocks.get(key)
+        if block is None:
+            ref = self.block_refs.get(key)
+            if ref is not None:
+                block = ref.materialize()
+                self.blocks[key] = block
+        return block
 
     def memory_records(self) -> int:
         """Total records resident (partitions, cache, and block nodes)."""
@@ -154,7 +177,7 @@ class Worker:
     def block_slices(self, key: Any, nodes: Sequence[int]) -> BlockSlices:
         """Serve one batched adjacency fetch out of a resident block."""
         self._check_alive()
-        block = self.blocks.get(key)
+        block = self._resolve_block(key)
         if block is None:
             raise KeyError(
                 f"worker {self.worker_id} does not hold block {key!r}"
@@ -168,7 +191,7 @@ class Worker:
         """Per-pass contribution of one block against the local side
         replica: ``(gains, f_cross_part, r_cross_part)``."""
         self._check_alive()
-        block = self.blocks.get(key)
+        block = self._resolve_block(key)
         if block is None:
             raise KeyError(
                 f"worker {self.worker_id} does not hold block {key!r}"

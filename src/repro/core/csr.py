@@ -53,6 +53,8 @@ from bisect import bisect_left
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from .kernels import (
+    buffer_tolist,
+    buffer_typecode,
     contract_arrays,
     recount_active,
     scaled_gain_bound,
@@ -102,6 +104,16 @@ def resolve_backend(backend: str) -> str:
             raise ValueError("backend 'numpy' requested but numpy is not importable")
         return backend
     raise ValueError(f"unknown backend {backend!r}")
+
+
+def _picklable(buf, typecode: str) -> Optional[array]:
+    """An ``array`` copy of ``buf`` suitable for pickling (``array``
+    instances pass through untouched; ``None`` stays ``None``)."""
+    if buf is None or isinstance(buf, array):
+        return buf
+    out = array(typecode)
+    out.frombytes(buf.tobytes())
+    return out
 
 
 def _build_csr(
@@ -181,6 +193,7 @@ class CSRGraph:
         "f_wt",
         "ro_wt",
         "ri_wt",
+        "snapshot_path",
         "_hot_cache",
         "_hot_wt_cache",
         "_np_cache",
@@ -207,6 +220,10 @@ class CSRGraph:
         self.ro_ptr, self.ro_idx = ro_ptr, ro_idx
         self.ri_ptr, self.ri_idx = ri_ptr, ri_idx
         self.f_wt, self.ro_wt, self.ri_wt = f_wt, ro_wt, ri_wt
+        #: set by :func:`repro.core.storage.load_snapshot` on graphs
+        #: opened from a binary snapshot file — consumers (the cluster
+        #: engine) use it to ship shard *references* instead of payloads
+        self.snapshot_path: Optional[str] = None
         self._hot_cache: Optional[Tuple[List[int], ...]] = None
         self._hot_wt_cache: Optional[Tuple[List[float], ...]] = None
         self._np_cache: Optional[Dict[str, object]] = None
@@ -322,20 +339,22 @@ class CSRGraph:
         """Whether the weight arrays are exact ``int64`` — the
         representation that keeps weighted gains integral and therefore
         eligible for the bucket index and the batch kernels."""
-        return self.f_wt is not None and self.f_wt.typecode == "q"
+        return self.f_wt is not None and buffer_typecode(self.f_wt) == "q"
 
     def hot(self) -> Tuple[List[int], ...]:
         """Cached plain-list views ``(f_ptr, f_idx, ro_ptr, ro_idx, ri_ptr,
-        ri_idx)`` for the pure-Python hot loops."""
+        ri_idx)`` for the pure-Python hot loops. Elements are native
+        ``int`` whatever the storage (``array``, ``np.memmap`` segment,
+        or ``memoryview`` over an mmap)."""
         cache = self._hot_cache
         if cache is None:
             cache = (
-                list(self.f_ptr),
-                list(self.f_idx),
-                list(self.ro_ptr),
-                list(self.ro_idx),
-                list(self.ri_ptr),
-                list(self.ri_idx),
+                buffer_tolist(self.f_ptr),
+                buffer_tolist(self.f_idx),
+                buffer_tolist(self.ro_ptr),
+                buffer_tolist(self.ro_idx),
+                buffer_tolist(self.ri_ptr),
+                buffer_tolist(self.ri_idx),
             )
             self._hot_cache = cache
         return cache
@@ -348,7 +367,11 @@ class CSRGraph:
             return None
         cache = self._hot_wt_cache
         if cache is None:
-            cache = (list(self.f_wt), list(self.ro_wt), list(self.ri_wt))
+            cache = (
+                buffer_tolist(self.f_wt),
+                buffer_tolist(self.ro_wt),
+                buffer_tolist(self.ri_wt),
+            )
             self._hot_wt_cache = cache
         return cache
 
@@ -371,7 +394,9 @@ class CSRGraph:
             }
             if self.f_wt is not None:
                 wt_dtype = (
-                    np.int64 if self.f_wt.typecode == "q" else np.float64
+                    np.int64
+                    if buffer_typecode(self.f_wt) == "q"
+                    else np.float64
                 )
                 cache["f_wt"] = np.frombuffer(self.f_wt, dtype=wt_dtype)
                 cache["ro_wt"] = np.frombuffer(self.ro_wt, dtype=wt_dtype)
@@ -417,8 +442,13 @@ class CSRGraph:
             (self.ro_ptr, self.ro_idx),
             (self.ri_ptr, self.ri_idx),
         ):
-            base = ptr[lo]
-            out.append(array("q", (ptr[i] - base for i in range(lo, hi + 1))))
+            base = int(ptr[lo])
+            out.append(
+                array("q", (int(ptr[i]) - base for i in range(lo, hi + 1)))
+            )
+            # On memmap-backed graphs this slice is a zero-copy view of
+            # the mapped file (numpy) or mmap buffer (memoryview); only
+            # array-module storage pays a flat C-level copy here.
             out.append(idx[ptr[lo] : ptr[hi]])
         return tuple(out)
 
@@ -456,6 +486,37 @@ class CSRGraph:
             bound = scaled_gain_bound(self, resolution, k_scaled)
             self._bound_cache[key] = bound
         return bound
+
+    # ------------------------------------------------------------------
+    # Binary snapshot persistence (repro.core.storage)
+    # ------------------------------------------------------------------
+    def save(self, path):
+        """Write this graph as a versioned binary snapshot (``.csrbin``).
+
+        The file layout is backend-independent — the same graph saved
+        from the python and numpy backends is byte-identical. See
+        :mod:`repro.core.storage` for the format. Returns the final
+        :class:`~pathlib.Path`.
+        """
+        from .storage import save_snapshot
+
+        return save_snapshot(self, path)
+
+    @classmethod
+    def open(
+        cls, path, mode: str = "mmap", backend: str = "auto"
+    ) -> "CSRGraph":
+        """Open a snapshot written by :meth:`save`.
+
+        ``mode="mmap"`` (default) maps the segments zero-copy —
+        millisecond opens regardless of graph size, read-only pages
+        shared between every process mapping the same file.
+        ``mode="copy"`` reads them into fresh ``array`` buffers.
+        Weighted snapshots come back as :class:`WeightedCSRGraph`.
+        """
+        from .storage import load_snapshot
+
+        return load_snapshot(path, mode=mode, backend=backend)
 
     # ------------------------------------------------------------------
     # Queries (builder-compatible surface)
@@ -522,19 +583,21 @@ class CSRGraph:
         """Pickle only the flat buffers — the derived caches (plain-list
         hot views, numpy ``frombuffer`` views) are rebuilt lazily on the
         receiving side, so a spawn-platform worker transfer is just the
-        CSR arrays."""
+        CSR arrays. Memmap-backed segments are materialized into
+        ``array`` buffers (an mmap cannot travel in a pickle); the
+        receiving side gets an ordinary in-memory graph."""
         return (
             self.num_nodes,
             self.backend,
-            self.f_ptr,
-            self.f_idx,
-            self.ro_ptr,
-            self.ro_idx,
-            self.ri_ptr,
-            self.ri_idx,
-            self.f_wt,
-            self.ro_wt,
-            self.ri_wt,
+            _picklable(self.f_ptr, "q"),
+            _picklable(self.f_idx, "q"),
+            _picklable(self.ro_ptr, "q"),
+            _picklable(self.ro_idx, "q"),
+            _picklable(self.ri_ptr, "q"),
+            _picklable(self.ri_idx, "q"),
+            _picklable(self.f_wt, buffer_typecode(self.f_wt) or "q"),
+            _picklable(self.ro_wt, buffer_typecode(self.ro_wt) or "q"),
+            _picklable(self.ri_wt, buffer_typecode(self.ri_wt) or "q"),
         )
 
     def __setstate__(self, state: Tuple) -> None:
@@ -551,6 +614,7 @@ class CSRGraph:
             self.ro_wt,
             self.ri_wt,
         ) = state
+        self.snapshot_path = None
         self._hot_cache = None
         self._hot_wt_cache = None
         self._np_cache = None
@@ -608,7 +672,7 @@ class WeightedCSRGraph(CSRGraph):
         backend: str = "auto",
     ) -> None:
         for name, wt in (("f_wt", f_wt), ("ro_wt", ro_wt), ("ri_wt", ri_wt)):
-            if wt is None or getattr(wt, "typecode", None) != "q":
+            if wt is None or buffer_typecode(wt) != "q":
                 raise ValueError(
                     f"WeightedCSRGraph requires int64 ('q') weight arrays; "
                     f"{name} is not — use the float CSRGraph for "
@@ -630,7 +694,7 @@ class WeightedCSRGraph(CSRGraph):
         if node_weight is None:
             node_weight = array("q", [1]) * num_nodes
         else:
-            if not isinstance(node_weight, array) or node_weight.typecode != "q":
+            if buffer_typecode(node_weight) != "q":
                 node_weight = array("q", node_weight)
             if len(node_weight) != num_nodes:
                 raise ValueError(
@@ -678,7 +742,7 @@ class WeightedCSRGraph(CSRGraph):
         )
 
     def __getstate__(self) -> Tuple:
-        return super().__getstate__() + (self.node_weight,)
+        return super().__getstate__() + (_picklable(self.node_weight, "q"),)
 
     def __setstate__(self, state: Tuple) -> None:
         super().__setstate__(state[:-1])
@@ -743,12 +807,9 @@ class CSRView:
                 cached = csr.hot()
             else:
                 active = self.active
+                fp, fi, op, oi, ip_, ii = csr.hot()
                 filtered: List[List[int]] = []
-                for ptr, idx in (
-                    (csr.f_ptr, csr.f_idx),
-                    (csr.ro_ptr, csr.ro_idx),
-                    (csr.ri_ptr, csr.ri_idx),
-                ):
+                for ptr, idx in ((fp, fi), (op, oi), (ip_, ii)):
                     new_ptr = [0] * (csr.num_nodes + 1)
                     new_idx: List[int] = []
                     append = new_idx.append

@@ -59,6 +59,8 @@ from array import array
 from typing import List, Optional, Sequence, Tuple
 
 __all__ = [
+    "buffer_typecode",
+    "buffer_tolist",
     "gain_deltas",
     "heap_gains",
     "recount_active",
@@ -75,6 +77,43 @@ __all__ = [
 ]
 
 
+def buffer_typecode(buf) -> Optional[str]:
+    """The ``array``-style typecode of a flat int64/float64 buffer.
+
+    The CSR arrays historically were always ``array("q")``/``array("d")``;
+    memory-mapped snapshots (:mod:`repro.core.storage`) introduce
+    ``np.memmap`` segments and ``memoryview`` casts as drop-in storage.
+    This normalizes all three to the one-letter typecode the dispatch
+    checks care about (``None`` for anything unrecognized, e.g. a plain
+    list).
+    """
+    code = getattr(buf, "typecode", None)  # array.array
+    if code is not None:
+        return code
+    fmt = getattr(buf, "format", None)  # memoryview over an mmap
+    if fmt in ("q", "d"):
+        return fmt
+    dtype = getattr(buf, "dtype", None)  # numpy ndarray / memmap
+    if dtype is not None:
+        return {"int64": "q", "float64": "d"}.get(dtype.name)
+    return None
+
+
+def buffer_tolist(buf) -> List:
+    """``list(buf)`` with native Python elements.
+
+    ``array.tolist``/``memoryview.tolist``/``ndarray.tolist`` all yield
+    plain ``int``/``float`` items; a bare ``list(...)`` over a numpy
+    buffer would yield ``np.int64`` scalars instead, which the pure-
+    Python hot loops must never see (slower arithmetic, and list
+    contents would differ by backend).
+    """
+    tolist = getattr(buf, "tolist", None)
+    if tolist is not None:
+        return tolist()
+    return list(buf)
+
+
 def _check_unweighted(csr) -> None:
     if csr.f_wt is not None:
         raise ValueError(
@@ -86,7 +125,7 @@ def _check_unweighted(csr) -> None:
 
 
 def _check_int_weighted(csr) -> None:
-    if csr.f_wt is None or csr.f_wt.typecode != "q":
+    if csr.f_wt is None or buffer_typecode(csr.f_wt) != "q":
         raise ValueError(
             "weighted kernels require an int64-weighted graph "
             "(WeightedCSRGraph); float-weighted graphs keep the scalar "
@@ -95,7 +134,7 @@ def _check_int_weighted(csr) -> None:
 
 
 def _check_not_float_weighted(csr) -> None:
-    if csr.f_wt is not None and csr.f_wt.typecode != "q":
+    if csr.f_wt is not None and buffer_typecode(csr.f_wt) != "q":
         raise ValueError(
             "float-weighted graphs have no exact integer kernels; only "
             "unweighted and int64-weighted CSR graphs are supported"

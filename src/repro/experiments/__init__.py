@@ -23,6 +23,7 @@ from .motivation import (
 from .runner import (
     SchemeSetup,
     evaluate_schemes,
+    load_graph_source,
     run_naive_filter,
     run_rejecto,
     run_votetrust,
@@ -48,6 +49,7 @@ from .tables import format_kv, format_series, format_table
 
 __all__ = [
     "SchemeSetup",
+    "load_graph_source",
     "evaluate_schemes",
     "run_rejecto",
     "run_votetrust",

@@ -9,8 +9,10 @@ precision equal recall (Section VI-A).
 
 from __future__ import annotations
 
+import gzip
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Sequence
+from pathlib import Path
+from typing import Dict, Optional, Sequence, Union
 
 from ..attacks.scenario import Scenario
 from ..baselines.rejection_filter import naive_rejection_filter
@@ -19,7 +21,69 @@ from ..core.maar import MAARConfig
 from ..core.rejecto import Rejecto, RejectoConfig
 from ..metrics.detection import DetectionMetrics
 
-__all__ = ["SchemeSetup", "run_rejecto", "run_votetrust", "run_naive_filter", "evaluate_schemes"]
+__all__ = [
+    "SchemeSetup",
+    "load_graph_source",
+    "run_rejecto",
+    "run_votetrust",
+    "run_naive_filter",
+    "evaluate_schemes",
+]
+
+
+def _sniff_format(path: Path) -> str:
+    """Classify an on-disk graph: ``"snapshot"`` (binary magic),
+    ``"augmented"`` (F/R edge lines), or ``"snap"`` (plain edge list)."""
+    from ..core.storage import MAGIC
+
+    opener = gzip.open if path.suffix == ".gz" else open
+    with opener(path, "rb") as handle:
+        head = handle.read(len(MAGIC))
+    if head == MAGIC:
+        return "snapshot"
+    text_opener = (lambda p: gzip.open(p, "rt")) if path.suffix == ".gz" else open
+    with text_opener(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            token = line.split(None, 1)[0]
+            return "augmented" if token in ("F", "R") else "snap"
+    return "snap"
+
+
+def load_graph_source(
+    source: Union[str, Path],
+    as_csr: bool = True,
+    mode: str = "mmap",
+    cache: bool = False,
+):
+    """Open a graph from any of the on-disk forms the repo reads.
+
+    The format is sniffed, not guessed from the extension: a binary
+    snapshot (``repro.core.storage`` magic) is memory-mapped — the
+    cold-start-free path the experiment drivers prefer; an ``F``/``R``
+    augmented edge-line file goes through
+    :func:`repro.io.load_augmented_graph`; anything else parses as a
+    SNAP edge list (``.gz`` transparently), with ``cache=True`` packing
+    it once into the loader's content-hash cache. Snapshot sources are
+    always CSR; text sources honour ``as_csr``.
+    """
+    source = Path(source)
+    kind = _sniff_format(source)
+    if kind == "snapshot":
+        from ..core.csr import CSRGraph
+
+        return CSRGraph.open(source, mode=mode)
+    if kind == "augmented":
+        from ..io import load_augmented_graph
+
+        return load_augmented_graph(source, as_csr=as_csr)
+    from ..graphgen.loaders import load_snap_edgelist
+
+    return load_snap_edgelist(
+        source, as_csr=as_csr, cache=cache and as_csr
+    )
 
 
 @dataclass(frozen=True)

@@ -26,13 +26,21 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from pathlib import Path
+from typing import Dict, List, Optional, Union
 
+from ..core.csr import CSRGraph
 from ..core.graph import AugmentedSocialGraph
 from .ba import barabasi_albert
 from .powerlaw_cluster import powerlaw_cluster
 
-__all__ = ["DatasetSpec", "CATALOG", "dataset_names", "generate_dataset"]
+__all__ = [
+    "DatasetSpec",
+    "CATALOG",
+    "dataset_names",
+    "generate_dataset",
+    "dataset_csr",
+]
 
 
 @dataclass(frozen=True)
@@ -168,3 +176,32 @@ def generate_dataset(
             f"unknown dataset {name!r}; choose from {dataset_names()}"
         ) from None
     return spec.build(scale=scale, rng=random.Random(seed))
+
+
+def dataset_csr(
+    name: str,
+    scale: float = 1.0,
+    seed: int = 1,
+    cache_dir: Optional[Union[str, Path]] = None,
+) -> CSRGraph:
+    """The finalized CSR form of a Table I stand-in, packed once.
+
+    Generation is deterministic in ``(name, scale, seed)``, so the
+    snapshot cache is keyed by exactly those parameters — no content
+    hash needed. With ``cache_dir=None`` the graph is generated fresh
+    each call (the old behaviour); with a directory, the first call
+    packs the generated CSR into ``<name>-s<scale>-seed<seed>.csrbin``
+    there and every later call memory-maps it, which is what turns the
+    cold start of the large-graph benchmarks into a millisecond open.
+    """
+    if cache_dir is None:
+        return generate_dataset(name, scale=scale, seed=seed).csr()
+    cache_dir = Path(cache_dir)
+    cached = cache_dir / f"{name}-s{scale!r}-seed{seed}.csrbin"
+    if cached.exists():
+        return CSRGraph.open(cached)
+    csr = generate_dataset(name, scale=scale, seed=seed).csr()
+    cache_dir.mkdir(parents=True, exist_ok=True)
+    csr.save(cached)
+    csr.snapshot_path = str(cached.resolve())
+    return csr

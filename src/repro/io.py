@@ -36,7 +36,23 @@ _PathLike = Union[str, Path]
 
 
 class FormatError(ValueError):
-    """Raised on malformed persisted data."""
+    """Raised on malformed persisted data.
+
+    Parse failures carry ``path:lineno`` plus a truncated excerpt of the
+    offending line, so a bad row in a multi-gigabyte log is findable
+    without the error message itself becoming multi-gigabyte.
+    """
+
+
+#: Longest raw-line excerpt quoted in a parse error.
+_EXCERPT_CHARS = 80
+
+
+def _excerpt(line: str) -> str:
+    """The offending line as a repr, truncated for the error message."""
+    if len(line) > _EXCERPT_CHARS:
+        return repr(line[:_EXCERPT_CHARS]) + f"… ({len(line)} chars)"
+    return repr(line)
 
 
 # ----------------------------------------------------------------------
@@ -88,20 +104,26 @@ def load_augmented_graph(
                         declared_nodes = int(body.split(":", 1)[1])
                     except ValueError as exc:
                         raise FormatError(
-                            f"{path}:{lineno}: bad nodes header {line!r}"
+                            f"{path}:{lineno}: bad nodes header "
+                            f"{_excerpt(line)}"
                         ) from exc
                 continue
             parts = line.split()
             if len(parts) != 3 or parts[0] not in ("F", "R"):
                 raise FormatError(
-                    f"{path}:{lineno}: expected 'F u v' or 'R u v', got {line!r}"
+                    f"{path}:{lineno}: expected 'F u v' or 'R u v', got "
+                    f"{_excerpt(line)}"
                 )
             try:
                 u, v = int(parts[1]), int(parts[2])
             except ValueError as exc:
-                raise FormatError(f"{path}:{lineno}: non-integer id in {line!r}") from exc
+                raise FormatError(
+                    f"{path}:{lineno}: non-integer id in {_excerpt(line)}"
+                ) from exc
             if u < 0 or v < 0:
-                raise FormatError(f"{path}:{lineno}: negative id in {line!r}")
+                raise FormatError(
+                    f"{path}:{lineno}: negative id in {_excerpt(line)}"
+                )
             max_id = max(max_id, u, v)
             if parts[0] == "F":
                 friendships.append((u, v))
@@ -138,18 +160,22 @@ def load_request_log(path: _PathLike) -> RequestLog:
     with path.open() as handle:
         header = handle.readline().strip()
         if header != "sender,target,accepted":
-            raise FormatError(f"{path}: unexpected header {header!r}")
+            raise FormatError(f"{path}:1: unexpected header {_excerpt(header)}")
         for lineno, line in enumerate(handle, start=2):
             line = line.strip()
             if not line:
                 continue
             parts = line.split(",")
             if len(parts) != 3:
-                raise FormatError(f"{path}:{lineno}: expected 3 fields, got {line!r}")
+                raise FormatError(
+                    f"{path}:{lineno}: expected 3 fields, got {_excerpt(line)}"
+                )
             try:
                 sender, target, accepted = int(parts[0]), int(parts[1]), int(parts[2])
             except ValueError as exc:
-                raise FormatError(f"{path}:{lineno}: non-integer field in {line!r}") from exc
+                raise FormatError(
+                    f"{path}:{lineno}: non-integer field in {_excerpt(line)}"
+                ) from exc
             if accepted not in (0, 1):
                 raise FormatError(f"{path}:{lineno}: accepted must be 0/1, got {accepted}")
             log.record(sender, target, bool(accepted))

@@ -7,12 +7,13 @@ sweeps) live in ``tests/core/test_parity.py``; here we pin the layer
 itself plus the pickling support the process backend relies on.
 """
 
+import multiprocessing
 import pickle
 
 import pytest
 
 from repro.core import AugmentedSocialGraph
-from repro.core.csr import CSRGraph, PartitionState
+from repro.core.csr import CSRGraph, PartitionState, WeightedCSRGraph
 from repro.core.parallel import (
     BACKENDS,
     default_jobs,
@@ -32,6 +33,39 @@ def square_plus_shared(item, shared):
 
 def boom(item, shared):
     raise RuntimeError(f"boom on {item}")
+
+
+def weighted_flat_lists(graph):
+    """Every buffer of a weighted CSR graph as plain int lists — the
+    bit-for-bit comparison key for pickle round-trips. Module-level so a
+    spawn worker can import it."""
+    return [
+        [int(x) for x in getattr(graph, name)]
+        for name in (
+            "f_ptr",
+            "f_idx",
+            "ro_ptr",
+            "ro_idx",
+            "ri_ptr",
+            "ri_idx",
+            "f_wt",
+            "ro_wt",
+            "ri_wt",
+            "node_weight",
+        )
+    ]
+
+
+def roundtrip_in_child(payload):
+    """Spawn-worker body: unpickle the graph the way a spawn pool
+    initializer would, and report what arrived."""
+    graph = pickle.loads(payload)
+    return (
+        type(graph).__name__,
+        graph.int_weighted,
+        graph.snapshot_path,
+        weighted_flat_lists(graph),
+    )
 
 
 class TestResolveExecutor:
@@ -140,3 +174,64 @@ class TestCSRPickling:
         assert clone.r_cross == state.r_cross
         assert clone.side_sizes == state.side_sizes
         assert bytes(clone.view.active) == bytes(state.view.active)
+
+
+def weighted_backends():
+    try:
+        import numpy  # noqa: F401
+
+        return ("python", "numpy")
+    except ImportError:  # pragma: no cover - numpy-less CI job
+        return ("python",)
+
+
+class TestWeightedCSRPickling:
+    """Weighted coarse graphs cross the process boundary in multilevel
+    parallel sweeps; the round-trip must be bit-identical on both
+    backends, including real spawn transfers."""
+
+    def weighted(self, backend):
+        csr = AugmentedSocialGraph.from_edges(
+            8,
+            friendships=[(0, 1), (1, 2), (2, 3), (4, 5), (5, 6), (6, 7)],
+            rejections=[(0, 4), (1, 5), (2, 6), (3, 7)],
+        ).csr(backend=backend)
+        # Contract pairs so the coarse weights are genuinely non-unit.
+        return csr.contract([0, 0, 1, 1, 2, 2, 3, 3], 4)
+
+    @pytest.mark.parametrize("backend", weighted_backends())
+    def test_roundtrip_bit_identical(self, backend):
+        graph = self.weighted(backend)
+        graph.hot()
+        graph.hot_weights()
+        clone = pickle.loads(pickle.dumps(graph))
+        assert isinstance(clone, WeightedCSRGraph)
+        assert clone.int_weighted
+        assert clone.num_nodes == graph.num_nodes
+        assert weighted_flat_lists(clone) == weighted_flat_lists(graph)
+        assert clone._hot_cache is None
+
+    @pytest.mark.skipif(
+        "numpy" not in weighted_backends(), reason="numpy backend unavailable"
+    )
+    def test_backends_pickle_to_same_graph(self):
+        """The *graphs* (not necessarily the pickle bytes) that arrive
+        on the far side are identical whichever backend sent them."""
+        py = pickle.loads(pickle.dumps(self.weighted("python")))
+        np_ = pickle.loads(pickle.dumps(self.weighted("numpy")))
+        assert weighted_flat_lists(py) == weighted_flat_lists(np_)
+
+    def test_spawn_transfer_bit_identical(self):
+        """A real spawn-mode child receives the same buffers the parent
+        sent — the transfer the process pool initializer performs on
+        platforms without fork."""
+        graph = self.weighted("auto")
+        context = multiprocessing.get_context("spawn")
+        with context.Pool(1) as pool:
+            name, int_weighted, snapshot_path, lists = pool.apply(
+                roundtrip_in_child, (pickle.dumps(graph),)
+            )
+        assert name == "WeightedCSRGraph"
+        assert int_weighted
+        assert snapshot_path is None
+        assert lists == weighted_flat_lists(graph)

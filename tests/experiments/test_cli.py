@@ -111,3 +111,63 @@ class TestCommands:
         )
         assert "[synthetic]" in output
         assert "Fig. 13" in output and "Fig. 15" in output
+
+
+class TestGraphCommands:
+    EDGES = "# comment\n0 1\n1 2\n2 3\n"
+
+    def test_pack_and_info_roundtrip(self, tmp_path):
+        source = tmp_path / "edges.txt"
+        source.write_text(self.EDGES)
+        out_text = run_cli(["graph", "pack", str(source)])
+        snapshot = tmp_path / "edges.csrbin"
+        assert snapshot.exists()
+        assert "packed 4 nodes, 3 friendships, 0 rejections" in out_text
+        info = run_cli(["graph", "info", str(snapshot)])
+        assert "4 nodes, 3 friendships, 0 rejections" in info
+        assert "version 1" in info
+
+    def test_pack_gz_default_name_strips_suffixes(self, tmp_path):
+        import gzip
+
+        source = tmp_path / "edges.txt.gz"
+        with gzip.open(source, "wt") as handle:
+            handle.write(self.EDGES)
+        run_cli(["graph", "pack", str(source)])
+        assert (tmp_path / "edges.csrbin").exists()
+
+    def test_pack_augmented_file(self, tmp_path):
+        from repro.core import AugmentedSocialGraph
+        from repro.io import save_augmented_graph
+
+        graph = AugmentedSocialGraph.from_edges(
+            5, friendships=[(0, 1), (1, 2)], rejections=[(3, 4)]
+        )
+        source = tmp_path / "g.graph"
+        save_augmented_graph(graph, source)
+        out_path = tmp_path / "g.csrbin"
+        out_text = run_cli(["graph", "pack", str(source), "--out", str(out_path)])
+        assert "1 rejections" in out_text
+        assert out_path.exists()
+
+    def test_info_segments_flag(self, tmp_path):
+        source = tmp_path / "edges.txt"
+        source.write_text(self.EDGES)
+        run_cli(["graph", "pack", str(source)])
+        info = run_cli(
+            ["graph", "info", str(tmp_path / "edges.csrbin"), "--segments"]
+        )
+        for name in ("f_ptr", "f_idx", "ro_ptr", "ro_idx", "ri_ptr", "ri_idx"):
+            assert f"segment {name}" in info
+
+    def test_detect_accepts_snapshot_graph(self, tmp_path):
+        from repro.attacks import ScenarioConfig, build_scenario
+
+        scenario = build_scenario(ScenarioConfig(num_legit=60, num_fakes=12, seed=3))
+        snap = scenario.graph.csr().save(tmp_path / "scenario.csrbin")
+        report = tmp_path / "report.json"
+        out_text = run_cli(
+            ["detect", "--graph", str(snap), "--report", str(report)]
+        )
+        assert "users" in out_text
+        assert report.exists()

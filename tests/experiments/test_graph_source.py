@@ -1,0 +1,82 @@
+"""Tests for ``load_graph_source``: content-sniffed graph loading.
+
+The experiment drivers accept any of the three on-disk graph forms —
+binary snapshot, F/R augmented file, SNAP edge list (optionally
+gzipped) — and must pick the right parser from the *content*, not the
+file name.
+"""
+
+import gzip
+
+import pytest
+
+from repro.core import AugmentedSocialGraph, CSRGraph
+from repro.experiments import load_graph_source
+from repro.io import save_augmented_graph
+
+
+def augmented():
+    return AugmentedSocialGraph.from_edges(
+        6,
+        friendships=[(0, 1), (1, 2), (3, 4)],
+        rejections=[(0, 5), (2, 3)],
+    )
+
+
+class TestSniffing:
+    def test_snapshot_by_magic(self, tmp_path):
+        snap = augmented().csr().save(tmp_path / "oddly-named.dat")
+        graph = load_graph_source(snap)
+        assert isinstance(graph, CSRGraph)
+        assert graph.num_rejections == 2
+        assert graph.snapshot_path == str(snap.resolve())
+
+    def test_augmented_by_leading_token(self, tmp_path):
+        path = tmp_path / "g.txt"
+        save_augmented_graph(augmented(), path)
+        graph = load_graph_source(path)
+        assert graph.num_friendships == 3
+        assert graph.num_rejections == 2
+
+    def test_snap_edgelist_fallback(self, tmp_path):
+        path = tmp_path / "edges.txt"
+        path.write_text("0 1\n1 2\n")
+        graph = load_graph_source(path)
+        assert isinstance(graph, CSRGraph)
+        assert graph.num_friendships == 2
+        assert graph.num_rejections == 0
+
+    def test_gz_edgelist(self, tmp_path):
+        path = tmp_path / "edges.txt.gz"
+        with gzip.open(path, "wt") as handle:
+            handle.write("0 1\n1 2\n2 0\n")
+        graph = load_graph_source(path)
+        assert graph.num_friendships == 3
+
+
+class TestModes:
+    def test_as_csr_false_keeps_builder_for_text(self, tmp_path):
+        path = tmp_path / "g.txt"
+        save_augmented_graph(augmented(), path)
+        graph = load_graph_source(path, as_csr=False)
+        assert isinstance(graph, AugmentedSocialGraph)
+
+    def test_as_csr_false_snapshot_still_csr(self, tmp_path):
+        snap = augmented().csr().save(tmp_path / "g.csrbin")
+        graph = load_graph_source(snap, as_csr=False)
+        assert isinstance(graph, CSRGraph)
+
+    def test_copy_mode_plumbs_through(self, tmp_path):
+        snap = augmented().csr().save(tmp_path / "g.csrbin")
+        graph = load_graph_source(snap, mode="copy")
+        assert list(graph.f_idx) == list(augmented().csr().f_idx)
+
+    def test_cache_packs_edge_lists(self, tmp_path):
+        path = tmp_path / "edges.txt"
+        path.write_text("0 1\n1 2\n")
+        load_graph_source(path, cache=True)
+        assert list((tmp_path / ".csrbin").glob("*.csrbin"))
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_graph_source(tmp_path / "nope.txt")

@@ -122,3 +122,108 @@ class TestSnapLoader:
         path.write_text("# nothing\n")
         graph = load_snap_edgelist(path)
         assert graph.num_nodes == 0
+
+
+class TestGzipEdgeLists:
+    EDGES = "# comment\n0 1\n1 2\n2 0\n"
+
+    def test_load_transparently_decompresses(self, tmp_path):
+        import gzip
+
+        gz = tmp_path / "edges.txt.gz"
+        with gzip.open(gz, "wt") as handle:
+            handle.write(self.EDGES)
+        graph = load_snap_edgelist(gz)
+        assert graph.num_nodes == 3
+        assert graph.num_friendships == 3
+
+    def test_save_gz_writes_gzip_and_roundtrips(self, tmp_path):
+        plain = tmp_path / "edges.txt"
+        plain.write_text(self.EDGES)
+        graph = load_snap_edgelist(plain)
+        gz = tmp_path / "out.txt.gz"
+        save_snap_edgelist(graph, gz)
+        assert gz.read_bytes()[:2] == b"\x1f\x8b"  # gzip magic
+        again = load_snap_edgelist(gz)
+        assert sorted(again.friendships()) == sorted(graph.friendships())
+
+    def test_gz_and_plain_load_identically(self, tmp_path):
+        import gzip
+
+        plain = tmp_path / "edges.txt"
+        plain.write_text(self.EDGES)
+        gz = tmp_path / "edges.txt.gz"
+        with gzip.open(gz, "wt") as handle:
+            handle.write(self.EDGES)
+        a = load_snap_edgelist(plain, as_csr=True)
+        b = load_snap_edgelist(gz, as_csr=True)
+        assert list(a.friendships()) == list(b.friendships())
+
+
+class TestPackOnceCache:
+    EDGES = "0 1\n1 2\n2 3\n3 0\n0 2\n"
+
+    def test_cache_requires_csr(self, tmp_path):
+        path = tmp_path / "edges.txt"
+        path.write_text(self.EDGES)
+        with pytest.raises(ValueError, match="as_csr"):
+            load_snap_edgelist(path, cache=True)
+
+    def test_cache_packs_then_maps(self, tmp_path):
+        from repro.graphgen.loaders import edgelist_cache_path
+
+        path = tmp_path / "edges.txt"
+        path.write_text(self.EDGES)
+        cached = edgelist_cache_path(path)
+        assert not cached.exists()
+        first = load_snap_edgelist(path, as_csr=True, cache=True)
+        assert cached.exists()
+        assert first.snapshot_path == str(cached.resolve())
+        second = load_snap_edgelist(path, as_csr=True, cache=True)
+        assert second.snapshot_path == str(cached.resolve())
+        assert list(second.friendships()) == list(first.friendships())
+
+    def test_edited_source_gets_fresh_cache_key(self, tmp_path):
+        from repro.graphgen.loaders import edgelist_cache_path
+
+        path = tmp_path / "edges.txt"
+        path.write_text(self.EDGES)
+        before = edgelist_cache_path(path)
+        path.write_text(self.EDGES + "4 5\n")
+        after = edgelist_cache_path(path)
+        assert before != after
+
+    def test_remap_flag_in_cache_key(self, tmp_path):
+        from repro.graphgen.loaders import edgelist_cache_path
+
+        path = tmp_path / "edges.txt"
+        path.write_text(self.EDGES)
+        assert edgelist_cache_path(path, remap=True) != edgelist_cache_path(
+            path, remap=False
+        )
+
+    def test_pack_edgelist_default_location(self, tmp_path):
+        from repro.graphgen.loaders import edgelist_cache_path, pack_edgelist
+
+        path = tmp_path / "edges.txt"
+        path.write_text(self.EDGES)
+        out = pack_edgelist(path)
+        assert out == edgelist_cache_path(path)
+        assert out.exists()
+        # A second pack is a no-op returning the same path.
+        assert pack_edgelist(path) == out
+
+    def test_dataset_csr_parameter_cache(self, tmp_path):
+        from repro.core.csr import CSRGraph
+        from repro.graphgen.datasets import dataset_csr
+
+        fresh = dataset_csr("facebook", scale=0.05, seed=3)
+        assert fresh.snapshot_path is None
+        first = dataset_csr("facebook", scale=0.05, seed=3, cache_dir=tmp_path)
+        cached_files = list(tmp_path.glob("*.csrbin"))
+        assert len(cached_files) == 1
+        second = dataset_csr("facebook", scale=0.05, seed=3, cache_dir=tmp_path)
+        assert isinstance(second, CSRGraph)
+        assert list(second.f_ptr) == list(first.f_ptr)
+        assert list(second.f_idx) == list(first.f_idx)
+        assert list(second.f_idx) == list(fresh.f_idx)

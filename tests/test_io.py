@@ -189,3 +189,36 @@ class TestPropertyRoundtrips:
             assert list(load_request_log(path)) == list(log)
 
         roundtrip()
+
+
+class TestErrorExcerpts:
+    """FormatError messages carry the line number and a truncated repr
+    of the offending line — enough to find and fix the input by hand."""
+
+    def test_line_number_and_repr_in_message(self, tmp_path):
+        path = tmp_path / "bad.graph"
+        path.write_text("F 0 1\nR 2 x\n")
+        with pytest.raises(FormatError, match=r"bad\.graph:2: .*'R 2 x'"):
+            load_augmented_graph(path)
+
+    def test_long_lines_truncated(self, tmp_path):
+        path = tmp_path / "bad.graph"
+        junk = "Z " + "y" * 300
+        path.write_text(f"F 0 1\n{junk}\n")
+        with pytest.raises(FormatError) as excinfo:
+            load_augmented_graph(path)
+        message = str(excinfo.value)
+        assert f"… ({len(junk)} chars)" in message
+        assert junk not in message  # the full 300-char line never appears
+
+    def test_request_log_header_excerpt(self, tmp_path):
+        path = tmp_path / "log.tsv"
+        path.write_text("totally wrong header\n")
+        with pytest.raises(FormatError, match=r"log\.tsv:1: .*'totally wrong header'"):
+            load_request_log(path)
+
+    def test_request_log_row_excerpt(self, tmp_path):
+        path = tmp_path / "log.tsv"
+        path.write_text("sender,target,accepted\n1,2\n")
+        with pytest.raises(FormatError, match=r"log\.tsv:2: expected 3 fields.*'1,2'"):
+            load_request_log(path)
