@@ -260,6 +260,66 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-rounds", type=int, default=25)
     add_jobs_arg(p)
 
+    p = sub.add_parser(
+        "multilevel",
+        help="one multilevel MAAR solve on a graph file (large-graph mode)",
+    )
+    p.add_argument(
+        "--graph",
+        required=True,
+        help="graph file: F/R edge-line format (see repro.io) or a "
+        ".csrbin binary snapshot (see `rejecto graph pack`)",
+    )
+    p.add_argument(
+        "--frontier",
+        choices=("boundary", "full"),
+        default="boundary",
+        help="refinement scope per uncoarsened level: 'boundary' refines "
+        "connected regions around the movable frontier, 'full' runs the "
+        "classic whole-graph pass",
+    )
+    p.add_argument(
+        "--refine-jobs",
+        type=int,
+        default=1,
+        help="worker count for the boundary-region fan-out (results are "
+        "bit-identical to --refine-jobs 1); 0 means all cores",
+    )
+    p.add_argument(
+        "--refine-tolerance",
+        type=float,
+        default=0.0,
+        help="early-exit: skip a level's refinement while the previous "
+        "level improved the objective by at most this fraction of its "
+        "magnitude (0 disables; the finest level always refines)",
+    )
+    p.add_argument(
+        "--refine-stall",
+        type=int,
+        default=256,
+        help="end a region pass after this many consecutive non-improving "
+        "tentative switches (0 restores exhaustive FM passes)",
+    )
+    p.add_argument(
+        "--no-incremental",
+        action="store_true",
+        help="disable dirty-frontier gain rebuilds between passes (ablation)",
+    )
+    p.add_argument(
+        "--engine",
+        choices=("csr", "legacy"),
+        default="csr",
+        help="csr (flat-array kernels) or the legacy dict-adjacency baseline",
+    )
+    p.add_argument("--legit-seeds", type=int, nargs="*", default=[])
+    p.add_argument("--spammer-seeds", type=int, nargs="*", default=[])
+    p.add_argument(
+        "--json",
+        default=None,
+        help="also write the result and per-level timings as JSON",
+    )
+    add_jobs_arg(p)
+
     return parser
 
 
@@ -351,6 +411,8 @@ def _run_command(args: argparse.Namespace, out=sys.stdout) -> None:
         print(f"report written to {path}", file=out)
     elif command == "detect":
         _run_detect(args, out)
+    elif command == "multilevel":
+        _run_multilevel(args, out)
     elif command == "graph":
         _run_graph(args, out)
     elif command == "shard-detect":
@@ -428,6 +490,100 @@ def _run_detect(args: argparse.Namespace, out) -> None:
     if args.report:
         save_detection_report(result, args.report)
         print(f"report written to {args.report}", file=out)
+
+
+def _run_multilevel(args: argparse.Namespace, out) -> None:
+    import json as _json
+    import time as _time
+
+    from .core import solve_maar_multilevel
+    from .core.multilevel import MultilevelConfig
+    from .experiments.runner import load_graph_source
+
+    graph = load_graph_source(args.graph, as_csr=args.engine == "csr")
+    refine_jobs = args.refine_jobs
+    if refine_jobs <= 0:
+        from .core.parallel import default_jobs
+
+        refine_jobs = default_jobs()
+    config = MultilevelConfig(
+        engine=args.engine,
+        frontier=args.frontier,
+        incremental=not args.no_incremental,
+        refine_tolerance=args.refine_tolerance,
+        refine_jobs=refine_jobs,
+        refine_stall=args.refine_stall if args.refine_stall > 0 else None,
+        jobs=_resolve_jobs(args),
+    )
+    if args.engine == "csr":
+        graph = graph.csr()
+    start = _time.perf_counter()
+    result = solve_maar_multilevel(
+        graph,
+        config,
+        legit_seeds=args.legit_seeds,
+        spammer_seeds=args.spammer_seeds,
+    )
+    seconds = _time.perf_counter() - start
+    print(
+        f"graph: {graph.num_nodes} users, {graph.num_friendships} "
+        f"friendships, {graph.num_rejections} rejections",
+        file=out,
+    )
+    print(
+        f"levels: {result.levels} (sizes {result.level_sizes})",
+        file=out,
+    )
+    if result.found:
+        print(
+            f"detected {len(result.suspicious)} suspicious accounts at "
+            f"k={result.k:.4f}, acceptance rate "
+            f"{result.acceptance_rate:.4f} in {seconds:.2f}s",
+            file=out,
+        )
+    else:
+        print(f"no valid cut found ({seconds:.2f}s)", file=out)
+    timings = result.timings
+    if timings:
+        coarsen = sum(timings.get("coarsen", []))
+        refine = sum(timings.get("refine", []))
+        print(
+            f"timings: coarsen {coarsen:.2f}s, coarse sweep "
+            f"{timings.get('coarse_sweep', 0.0):.2f}s, refine {refine:.2f}s, "
+            f"early exits {timings.get('early_exits', 0)}",
+            file=out,
+        )
+        for detail in timings.get("refine_detail", []):
+            print(
+                f"  level {detail['level']}: {detail['scope']}, frontier "
+                f"{detail['boundary']}, regions {detail['regions']}, rounds "
+                f"{detail['rounds']}, moves {detail['moves']}",
+                file=out,
+            )
+    if result.found:
+        shown = " ".join(map(str, result.suspicious[:20]))
+        suffix = " ..." if len(result.suspicious) > 20 else ""
+        print(f"suspicious ids: {shown}{suffix}", file=out)
+    if args.json:
+        payload = {
+            "suspicious": result.suspicious,
+            "acceptance_rate": result.acceptance_rate,
+            "k": result.k,
+            "level_sizes": result.level_sizes,
+            "timings": timings,
+            "seconds": seconds,
+            "config": {
+                "engine": args.engine,
+                "frontier": args.frontier,
+                "incremental": not args.no_incremental,
+                "refine_tolerance": args.refine_tolerance,
+                "refine_jobs": refine_jobs,
+            },
+        }
+        with open(args.json, "w", encoding="utf-8") as fh:
+            _json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"json written to {args.json}", file=out)
 
 
 def _run_graph(args: argparse.Namespace, out) -> None:

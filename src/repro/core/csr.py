@@ -913,6 +913,46 @@ class PartitionState:
         self.locked: List[bool] = list(locked)
         self.recount()
 
+    @classmethod
+    def from_counts(
+        cls,
+        view: CSRView,
+        sides: Sequence[int],
+        locked: Optional[Sequence[bool]],
+        f_cross,
+        r_cross,
+    ) -> "PartitionState":
+        """Build a state from already-known cut counters, skipping the
+        O(V+E) :meth:`recount`.
+
+        The boundary-only multilevel refinement tracks exact integer
+        counter deltas through every projection (cut weights are
+        preserved) and region merge, so re-deriving the counters from
+        scratch at each level would be pure waste; this trusts the
+        caller's ``f_cross``/``r_cross`` and only tallies the O(V) side
+        sizes. ``verify_counts`` remains the audit hook.
+        """
+        n = view.csr.num_nodes
+        if len(sides) != n:
+            raise ValueError(f"sides has length {len(sides)}, expected {n}")
+        if locked is None:
+            locked = [False] * n
+        elif len(locked) != n:
+            raise ValueError(f"locked has length {len(locked)}, expected {n}")
+        state = cls.__new__(cls)
+        state.view = view
+        state.sides = list(sides)
+        state.locked = list(locked)
+        state.f_cross = f_cross
+        state.r_cross = r_cross
+        active = view.active
+        ones = 0
+        for u in range(n):
+            if active[u] and sides[u]:
+                ones += 1
+        state.side_sizes = [view.num_active - ones, ones]
+        return state
+
     def recount(self) -> None:
         """Recompute the counters and side sizes from scratch (O(V+E)).
 

@@ -28,6 +28,11 @@ module collects those batch kernels in one place:
   :func:`weighted_recount_active` — the weighted twins of the three
   kernels above for int64-weighted coarse graphs
   (:class:`~repro.core.csr.WeightedCSRGraph`);
+* :func:`boundary_nodes` / :func:`weighted_boundary_nodes` — the cut
+  frontier of a partition: every active node on the cut or with a
+  positive switch gain, plus their active neighbours, which is where
+  the boundary-only KL refinement (``KLConfig.frontier="boundary"``)
+  seeds its tentative passes instead of bulk-loading all gains;
 * :func:`heavy_edge_matching` / :func:`matching_to_mapping` /
   :func:`contract_arrays` — the multilevel coarsening step as flat-array
   kernels: mutual heaviest-neighbour matching in rounds, matching →
@@ -63,6 +68,8 @@ __all__ = [
     "buffer_tolist",
     "gain_deltas",
     "heap_gains",
+    "boundary_nodes",
+    "weighted_boundary_nodes",
     "recount_active",
     "active_in_rejections",
     "scaled_gain_bound",
@@ -185,7 +192,13 @@ def gain_deltas(view, sides: Sequence[int]) -> Tuple[List[int], List[int]]:
 
 
 def _gain_deltas_np(view, sides: Sequence[int]) -> Tuple[List[int], List[int]]:
-    np, arrs, rows, active = _np_state(view)
+    fd, rd = _gain_delta_arrays_np(*_np_state(view), sides)
+    return fd.tolist(), rd.tolist()
+
+
+def _gain_delta_arrays_np(np, arrs, rows, active, sides):
+    """Array-returning core of :func:`_gain_deltas_np` (shared with the
+    boundary-frontier kernel, which consumes the deltas as arrays)."""
     sides_np = np.asarray(sides, dtype=np.int64)
     f_row, ro_row, ri_row = rows
 
@@ -209,7 +222,7 @@ def _gain_deltas_np(view, sides: Sequence[int]) -> Tuple[List[int], List[int]]:
     zero = np.int64(0)
     fd = np.where(active, fd, zero)
     rd = np.where(active, rd, zero)
-    return fd.tolist(), rd.tolist()
+    return fd, rd
 
 
 def _gain_deltas_py(view, sides: Sequence[int]) -> Tuple[List[int], List[int]]:
@@ -280,7 +293,12 @@ def weighted_gain_deltas(view, sides: Sequence[int]) -> Tuple[List[int], List[in
 
 
 def _weighted_gain_deltas_np(view, sides) -> Tuple[List[int], List[int]]:
-    np, arrs, rows, active = _np_state(view)
+    fd, rd = _weighted_gain_delta_arrays_np(*_np_state(view), sides)
+    return fd.tolist(), rd.tolist()
+
+
+def _weighted_gain_delta_arrays_np(np, arrs, rows, active, sides):
+    """Array-returning core of :func:`_weighted_gain_deltas_np`."""
     sides_np = np.asarray(sides, dtype=np.int64)
     f_row, _, _ = rows
 
@@ -312,7 +330,7 @@ def _weighted_gain_deltas_np(view, sides) -> Tuple[List[int], List[int]]:
     zero = np.int64(0)
     fd = np.where(active, fd, zero)
     rd = np.where(active, rd, zero)
-    return fd.tolist(), rd.tolist()
+    return fd, rd
 
 
 def _weighted_gain_deltas_py(view, sides) -> Tuple[List[int], List[int]]:
@@ -422,6 +440,117 @@ def _weighted_recount_py(view, sides) -> Tuple[int, int, int]:
                 if active[v] and sides[v] == 1:
                     r_cross += ow[i]
     return f_cross, r_cross, ones
+
+
+# ----------------------------------------------------------------------
+# Boundary frontier (boundary-only KL refinement)
+# ----------------------------------------------------------------------
+def boundary_nodes(view, sides: Sequence[int], k: float) -> List[int]:
+    """The cut frontier: ascending active node ids worth refining first.
+
+    A node is a frontier *seed* when it is active and (a) incident to an
+    active cross-side friendship, or (b) has a positive switch gain at
+    ``k`` (``k·rd > fd``, which catches every rejection-driven
+    profitable switch — e.g. a side-0 node whose in-rejections would
+    start crossing once it switched — with no crossing edge required).
+    Endpoints of crossing *rejections* are deliberately not seeds: a
+    converged friend-spam cut crosses nearly every rejection edge, so
+    that clause would blanket the graph, and a crossing-rejection
+    endpoint whose switch gain is negative has nothing to offer the
+    greedy prefix anyway. The returned frontier is the seeds plus their
+    active neighbours across all three layers — one switch deep of
+    look-ahead, so a seed's first move finds its chain partners already
+    in scope.
+
+    Entries for locked nodes are *not* filtered (locks are the caller's
+    concern, as with :func:`gain_deltas`). Both backends return the
+    identical sorted list: membership is decided by integer comparisons
+    plus the single IEEE-double comparison ``k·rd > fd`` over the same
+    exact integers.
+    """
+    csr = view.csr
+    _check_unweighted(csr)
+    if _use_numpy(csr):
+        return _boundary_nodes_np(view, sides, k, weighted=False)
+    return _boundary_nodes_py(view, sides, k, weighted=False)
+
+
+def weighted_boundary_nodes(view, sides: Sequence[int], k: float) -> List[int]:
+    """Weighted twin of :func:`boundary_nodes` for int64-weighted coarse
+    graphs. Cut membership is structural (every weight is a positive
+    integer, so a crossing edge crosses regardless of weight) and the
+    positive-gain clause uses the weighted deltas — still exact
+    integers, so both backends agree bit for bit."""
+    csr = view.csr
+    _check_int_weighted(csr)
+    if _use_numpy(csr):
+        return _boundary_nodes_np(view, sides, k, weighted=True)
+    return _boundary_nodes_py(view, sides, k, weighted=True)
+
+
+def _boundary_nodes_np(view, sides, k, weighted):
+    np, arrs, rows, active = _np_state(view)
+    sides_np = np.asarray(sides, dtype=np.int64)
+    f_row, ro_row, ri_row = rows
+    f_idx, ro_idx, ri_idx = arrs["f_idx"], arrs["ro_idx"], arrs["ri_idx"]
+    n = len(active)
+
+    seed = np.zeros(n, dtype=bool)
+    # (a) cross-side friendships: symmetric storage marks both endpoints.
+    cross = active[f_row] & active[f_idx] & (sides_np[f_row] != sides_np[f_idx])
+    seed[f_row[cross]] = True
+    # (b) positive switch gain: -(fd - k*rd) > 0 <=> k*rd > fd.
+    if weighted:
+        fd, rd = _weighted_gain_delta_arrays_np(np, arrs, rows, active, sides)
+    else:
+        fd, rd = _gain_delta_arrays_np(np, arrs, rows, active, sides)
+    seed |= active & (k * rd > fd)
+
+    # One-switch look-ahead: seeds plus their active neighbours. The
+    # rejection layers mirror each other, so row->idx per layer covers
+    # both directions of every rejection edge.
+    out = seed.copy()
+    for row, idx in ((f_row, f_idx), (ro_row, ro_idx), (ri_row, ri_idx)):
+        mark = seed[row] & active[idx]
+        out[idx[mark]] = True
+    out &= active
+    return np.nonzero(out)[0].tolist()
+
+
+def _boundary_nodes_py(view, sides, k, weighted):
+    csr = view.csr
+    fp, fi, op, oi, ip_, ii = csr.hot()
+    active = view.active
+    n = csr.num_nodes
+    if weighted:
+        fd, rd = _weighted_gain_deltas_py(view, sides)
+    else:
+        fd, rd = _gain_deltas_py(view, sides)
+
+    seed = bytearray(n)
+    for u in range(n):
+        if not active[u]:
+            continue
+        if k * rd[u] > fd[u]:
+            seed[u] = 1
+            continue
+        s = sides[u]
+        for i in range(fp[u], fp[u + 1]):
+            v = fi[i]
+            if active[v] and sides[v] != s:
+                seed[u] = 1
+                break
+
+    out = bytearray(seed)
+    for u in range(n):
+        if not seed[u]:
+            continue
+        for ptr, idx in ((fp, fi), (op, oi), (ip_, ii)):
+            for i in range(ptr[u], ptr[u + 1]):
+                v = idx[i]
+                if active[v]:
+                    out[v] = 1
+    return [u for u in range(n) if out[u]]
 
 
 # ----------------------------------------------------------------------

@@ -53,8 +53,10 @@ from .csr import PartitionState
 from .gains import HeapGainIndex, _on_grid, make_gain_index
 from .graph import AugmentedSocialGraph
 from .kernels import (
+    boundary_nodes,
     gain_deltas,
     heap_gains,
+    weighted_boundary_nodes,
     weighted_gain_deltas,
     weighted_heap_gains,
 )
@@ -65,6 +67,7 @@ __all__ = [
     "KLStats",
     "extended_kl",
     "extended_kl_state",
+    "refine_subset",
     "adjust_neighbor_gains",
 ]
 
@@ -107,6 +110,28 @@ class KLConfig:
         recomputed to the same integers/floats and re-inserted in the
         same ascending node order); ``False`` forces the full O(V+E)
         re-sweep every pass, kept as the parity/benchmark reference.
+    frontier:
+        ``"full"`` (default) loads every unlocked active node into the
+        gain index — the classic KL pass, whose tentative sweep costs
+        O(V+E) even when the partition is nearly converged. When the
+        start point is already good (multilevel uncoarsening projects a
+        refined coarse cut), ``"boundary"`` seeds the pass from
+        :func:`~repro.core.kernels.boundary_nodes` instead: the nodes on
+        the cut or with a positive switch gain, plus their neighbours.
+        The scope then *grows* — every applied prefix admits its dirty
+        frontier, and at convergence a closure sweep readmits any
+        positive-gain node the scope missed — so the scoped search never
+        stops while a profitable single switch exists anywhere (the
+        invariant ``tests/core/test_refinement.py`` checks on arbitrary
+        workloads). On refinement workloads the scoped pass is almost
+        always bit-identical to the full one — partitions, counters and
+        objective history (pinned on fixed workloads in the same test
+        file); rarely (~0.5 % of random refinement workloads) the two
+        take different compound-move paths through interior nodes and
+        settle on equally converged cuts whose objectives differ by a
+        move or two, in either direction. On arbitrary start points the
+        full engine may hill-climb through interior nodes the scope
+        never admits, so ``"full"`` remains the default.
     """
 
     gain_index: str = "auto"
@@ -115,6 +140,7 @@ class KLConfig:
     stall_limit: Optional[int] = None
     engine: str = "csr"
     incremental: bool = True
+    frontier: str = "full"
 
 
 @dataclass
@@ -142,11 +168,15 @@ def adjust_neighbor_gains(
     prev_side)·w``. Exported so the property tests can drive the gain
     indexes through the exact production update path.
     """
-    view = state.view
+    _adjust_gains(index, state.view, state.sides, u, prev_side, k)
+
+
+def _adjust_gains(index, view, sides, u: int, prev_side: int, k: float) -> None:
+    """Body of :func:`adjust_neighbor_gains` over raw ``(view, sides)``
+    (shared with :func:`refine_subset`, which carries no state object)."""
     csr = view.csr
     fp, fi, op, oi, ip_, ii = csr.hot()
     active = view.active
-    sides = state.sides
     weights = csr.hot_weights()
     rej_sign = k * (1 - 2 * prev_side)
     if weights is None:
@@ -224,6 +254,20 @@ def _run_bucket_passes(
     absent = -1
 
     eligible = [u for u in range(n) if active[u] and not locked[u]]
+    # Boundary frontier (KLConfig.frontier="boundary"): restrict the
+    # tentative passes to the cut frontier instead of the whole graph.
+    # The scope grows with every applied prefix's dirty frontier, and
+    # the convergence closure below readmits any positive-gain node the
+    # scope missed, so no profitable single switch is ever left behind.
+    scope: Optional[List[bool]] = None
+    if config.frontier == "boundary":
+        scope = [False] * n
+        scoped = []
+        for u in boundary_nodes(view, sides, k):
+            if not locked[u]:
+                scope[u] = True
+                scoped.append(u)
+        eligible = scoped
     gain_b: Optional[List[int]] = None  # start-of-pass bucket index per node
     dirty: Optional[Set[int]] = None  # None -> full rebuild
 
@@ -238,11 +282,20 @@ def _run_bucket_passes(
         # frontier — identical integers either way. On the numpy backend
         # a large frontier flips back to the batch kernel (a pure-speed
         # choice: both paths produce the same values).
-        if (
+        refresh_all = (
             gain_b is None
             or dirty is None
             or (csr.backend == "numpy" and 4 * len(dirty) > len(eligible))
-        ):
+        )
+        if refresh_all and scope is not None and csr.backend != "numpy":
+            # Scoped python rebuilds sweep only the frontier — the same
+            # scalar recomputation as the dirty path, same integers —
+            # so a small boundary never pays the full O(V+E) kernel.
+            if gain_b is None:
+                gain_b = [0] * n
+            dirty = set(eligible)
+            refresh_all = False
+        if refresh_all:
             fd_all, rd_all = gain_deltas(view, sides)
             if gain_b is None:
                 gain_b = [0] * n
@@ -434,21 +487,57 @@ def _run_bucket_passes(
         if stats is not None:
             stats.switches_applied += best_length
         if best_length == 0:
-            break
-        if config.incremental and not (
+            if scope is None:
+                break
+            # Convergence closure: one batch sweep readmits every active
+            # positive-gain node outside the scope. If none exists the
+            # scoped search has genuinely converged — no profitable
+            # single switch remains anywhere in the graph.
+            fd_all, rd_all = gain_deltas(view, sides)
+            fresh = [
+                u
+                for u in range(n)
+                if active[u]
+                and not locked[u]
+                and not scope[u]
+                and k_scaled * rd_all[u] - fd_all[u] * res > 0
+            ]
+            if not fresh:
+                break
+            for u in fresh:
+                scope[u] = True
+                gain_b[u] = k_scaled * rd_all[u] - fd_all[u] * res + offset
+            # In-scope gains are untouched (the pass applied nothing),
+            # and the fresh nodes' gains were just filled — nothing is
+            # dirty for the next pass.
+            eligible = sorted(eligible + fresh)
+            dirty = set()
+            continue
+        track_dirty = config.incremental and not (
             csr.backend == "numpy" and 4 * best_length > len(eligible)
-        ):
+        )
+        if track_dirty or scope is not None:
             # Rolled-back switches are net no-ops, so only the applied
             # prefix and its neighbourhood can enter the next pass with
             # a changed gain. (When the prefix alone already exceeds the
             # batch-rebuild threshold, skip collecting the frontier —
-            # the next pass rebuilds in full either way.)
+            # the next pass rebuilds in full either way. In boundary
+            # mode the frontier is always collected: it is also how the
+            # scope grows.)
             dirty = set()
             for u, _, _ in sequence[:best_length]:
                 dirty.add(u)
                 dirty.update(fi[fp[u] : fp[u + 1]])
                 dirty.update(oi[op[u] : op[u + 1]])
                 dirty.update(ii[ip_[u] : ip_[u + 1]])
+            if scope is not None:
+                grown = [v for v in dirty if not scope[v] and not locked[v]]
+                if grown:
+                    for v in grown:
+                        scope[v] = True
+                    eligible = sorted(eligible + grown)
+            if not track_dirty:
+                dirty = None
         else:
             dirty = None
 
@@ -501,6 +590,18 @@ def _run_bucket_passes_weighted(
     absent = -1
 
     eligible = [u for u in range(n) if not locked[u]]
+    # Boundary frontier: same scoped discipline as the unweighted engine
+    # (seed from the weighted frontier kernel, grow with every applied
+    # prefix, closure sweep at convergence).
+    scope: Optional[List[bool]] = None
+    if config.frontier == "boundary":
+        scope = [False] * n
+        scoped = []
+        for u in weighted_boundary_nodes(view, sides, k):
+            if not locked[u]:
+                scope[u] = True
+                scoped.append(u)
+        eligible = scoped
     gain_b: Optional[List[int]] = None  # start-of-pass bucket index per node
     dirty: Optional[Set[int]] = None  # None -> full rebuild
 
@@ -509,11 +610,17 @@ def _run_bucket_passes_weighted(
             stats.passes += 1
             stats.objective_history.append(f_cross - k * r_cross)
 
-        if (
+        refresh_all = (
             gain_b is None
             or dirty is None
             or (csr.backend == "numpy" and 4 * len(dirty) > len(eligible))
-        ):
+        )
+        if refresh_all and scope is not None and csr.backend != "numpy":
+            if gain_b is None:
+                gain_b = [0] * n
+            dirty = set(eligible)
+            refresh_all = False
+        if refresh_all:
             fd_all, rd_all = weighted_gain_deltas(view, sides)
             if gain_b is None:
                 gain_b = [0] * n
@@ -702,16 +809,42 @@ def _run_bucket_passes_weighted(
         if stats is not None:
             stats.switches_applied += best_length
         if best_length == 0:
-            break
-        if config.incremental and not (
+            if scope is None:
+                break
+            fd_all, rd_all = weighted_gain_deltas(view, sides)
+            fresh = [
+                u
+                for u in range(n)
+                if not locked[u]
+                and not scope[u]
+                and k_scaled * rd_all[u] - fd_all[u] * res > 0
+            ]
+            if not fresh:
+                break
+            for u in fresh:
+                scope[u] = True
+                gain_b[u] = k_scaled * rd_all[u] - fd_all[u] * res + offset
+            eligible = sorted(eligible + fresh)
+            dirty = set()
+            continue
+        track_dirty = config.incremental and not (
             csr.backend == "numpy" and 4 * best_length > len(eligible)
-        ):
+        )
+        if track_dirty or scope is not None:
             dirty = set()
             for u, _, _ in sequence[:best_length]:
                 dirty.add(u)
                 dirty.update(fi[fp[u] : fp[u + 1]])
                 dirty.update(oi[op[u] : op[u + 1]])
                 dirty.update(ii[ip_[u] : ip_[u + 1]])
+            if scope is not None:
+                grown = [v for v in dirty if not scope[v] and not locked[v]]
+                if grown:
+                    for v in grown:
+                        scope[v] = True
+                    eligible = sorted(eligible + grown)
+            if not track_dirty:
+                dirty = None
         else:
             dirty = None
 
@@ -748,6 +881,19 @@ def _run_heap_passes(
     )
 
     eligible = [u for u in range(n) if active[u] and not locked[u]]
+    # Boundary frontier: the heap engine serves off-grid k (Dinkelbach
+    # polish) and weighted residual views, so it carries the same scoped
+    # discipline as the bucket engines.
+    scope: Optional[List[bool]] = None
+    if config.frontier == "boundary":
+        kernel = weighted_boundary_nodes if csr.weighted else boundary_nodes
+        scope = [False] * n
+        scoped = []
+        for u in kernel(view, sides, k):
+            if not locked[u]:
+                scope[u] = True
+                scoped.append(u)
+        eligible = scoped
     gains: Optional[List[float]] = None  # start-of-pass gain per node
     dirty: Optional[Set[int]] = None  # None -> full rebuild
 
@@ -756,11 +902,17 @@ def _run_heap_passes(
             stats.passes += 1
             stats.objective_history.append(state.objective(k))
 
-        if (
+        refresh_all = (
             gains is None
             or dirty is None
             or (vectorize and 4 * len(dirty) > len(eligible))
-        ):
+        )
+        if refresh_all and scope is not None and not vectorize:
+            if gains is None:
+                gains = [0.0] * n
+            dirty = set(eligible)
+            refresh_all = False
+        if refresh_all:
             if vectorize:
                 if csr.weighted:
                     gains = weighted_heap_gains(view, sides, k)
@@ -810,10 +962,37 @@ def _run_heap_passes(
         if stats is not None:
             stats.switches_applied += best_length
         if best_length == 0:
-            break
-        if config.incremental and not (
+            if scope is None:
+                break
+            if vectorize:
+                if csr.weighted:
+                    all_gains = weighted_heap_gains(view, sides, k)
+                else:
+                    all_gains = heap_gains(view, sides, k)
+            else:
+                all_gains = None
+            fresh = []
+            for u in range(n):
+                if active[u] and not locked[u] and not scope[u]:
+                    g = (
+                        all_gains[u]
+                        if all_gains is not None
+                        else state.switch_gain(u, k)
+                    )
+                    if g > 0.0:
+                        fresh.append(u)
+                        gains[u] = g
+            if not fresh:
+                break
+            for u in fresh:
+                scope[u] = True
+            eligible = sorted(eligible + fresh)
+            dirty = set()
+            continue
+        track_dirty = config.incremental and not (
             vectorize and 4 * best_length > len(eligible)
-        ):
+        )
+        if track_dirty or scope is not None:
             fp, fi, op, oi, ip_, ii = csr.hot()
             dirty = set()
             for u in sequence[:best_length]:
@@ -821,6 +1000,18 @@ def _run_heap_passes(
                 dirty.update(fi[fp[u] : fp[u + 1]])
                 dirty.update(oi[op[u] : op[u + 1]])
                 dirty.update(ii[ip_[u] : ip_[u + 1]])
+            if scope is not None:
+                grown = [
+                    v
+                    for v in dirty
+                    if active[v] and not locked[v] and not scope[v]
+                ]
+                if grown:
+                    for v in grown:
+                        scope[v] = True
+                    eligible = sorted(eligible + grown)
+            if not track_dirty:
+                dirty = None
         else:
             dirty = None
 
@@ -845,6 +1036,16 @@ def extended_kl_state(
     kind = config.gain_index
     csr = out.view.csr
     weighted = csr.weighted
+    if config.frontier not in ("full", "boundary"):
+        raise ValueError(
+            f"unknown frontier {config.frontier!r}; expected 'full' or "
+            "'boundary'"
+        )
+    if config.frontier == "boundary" and weighted and not csr.int_weighted:
+        raise ValueError(
+            "frontier='boundary' requires an unweighted or int64-weighted "
+            "graph; float-weighted graphs keep the full frontier"
+        )
     # The weighted bucket engine indexes the positional weight arrays of
     # the *full* slot layout, so it needs an all-active view; residual
     # weighted views fall back to the heap. (Unweighted buckets run on
@@ -881,6 +1082,149 @@ def extended_kl_state(
     else:
         raise ValueError(f"unknown gain index kind {kind!r}")
     return out
+
+
+def refine_subset(
+    view,
+    sides: List[int],
+    locked: Sequence[bool],
+    nodes: Sequence[int],
+    k: float,
+    config: Optional[KLConfig] = None,
+):
+    """Extended-KL passes restricted to a fixed candidate subset, in place.
+
+    The region-parallel multilevel refinement decomposes the cut
+    frontier into connected boundary regions
+    (:func:`~repro.core.multilevel.solve_maar_multilevel`) and refines
+    each through this entry point: the usual greedy tentative pass with
+    FM LIFO tie-breaks and best-prefix rollback, but only ``nodes`` may
+    switch — every other side is read-only context. Because the regions
+    are closed under all three adjacency layers, two calls on distinct
+    regions never read each other's writes: their ``(delta_f,
+    delta_r)`` add exactly and their move sets are disjoint, which is
+    what makes the region merge independent of worker count and
+    execution order. Gains use the lazy-deletion heap, so any positive
+    ``k`` and both unweighted and int64-weighted graphs work.
+
+    ``sides`` is mutated to the refined labels. Returns ``(moved,
+    delta_f, delta_r, tested, applied)``: the ascending list of nodes
+    whose side net-changed, the exact cut-counter deltas those moves
+    caused, and the tentative/applied switch counts.
+    """
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")
+    config = config or KLConfig()
+    csr = view.csr
+    fp, fi, op, oi, ip_, ii = csr.hot()
+    weights = csr.hot_weights()
+    fw, ow, iw = weights if weights is not None else (None, None, None)
+    active = view.active
+    cand = sorted(u for u in set(nodes) if active[u] and not locked[u])
+    entry = {u: sides[u] for u in cand}
+    delta_f = delta_r = 0
+    tested = applied = 0
+
+    def deltas(u):
+        # The exact counter deltas of switching u now — the same scalar
+        # arithmetic as PartitionState.switch/switch_gain, against the
+        # full side vector (out-of-region neighbours included).
+        s = sides[u]
+        fd = 0
+        rd = 0
+        if fw is None:
+            for i in range(fp[u], fp[u + 1]):
+                v = fi[i]
+                if active[v]:
+                    fd += 1 if sides[v] == s else -1
+            if s:
+                for i in range(op[u], op[u + 1]):
+                    v = oi[i]
+                    if active[v] and sides[v]:
+                        rd += 1
+                for i in range(ip_[u], ip_[u + 1]):
+                    w = ii[i]
+                    if active[w] and not sides[w]:
+                        rd -= 1
+            else:
+                for i in range(op[u], op[u + 1]):
+                    v = oi[i]
+                    if active[v] and sides[v]:
+                        rd -= 1
+                for i in range(ip_[u], ip_[u + 1]):
+                    w = ii[i]
+                    if active[w] and not sides[w]:
+                        rd += 1
+        else:
+            for i in range(fp[u], fp[u + 1]):
+                v = fi[i]
+                if active[v]:
+                    fd += fw[i] if sides[v] == s else -fw[i]
+            if s:
+                for i in range(op[u], op[u + 1]):
+                    v = oi[i]
+                    if active[v] and sides[v]:
+                        rd += ow[i]
+                for i in range(ip_[u], ip_[u + 1]):
+                    w = ii[i]
+                    if active[w] and not sides[w]:
+                        rd -= iw[i]
+            else:
+                for i in range(op[u], op[u + 1]):
+                    v = oi[i]
+                    if active[v] and sides[v]:
+                        rd -= ow[i]
+                for i in range(ip_[u], ip_[u + 1]):
+                    w = ii[i]
+                    if active[w] and not sides[w]:
+                        rd += iw[i]
+        return fd, rd
+
+    for _ in range(config.max_passes):
+        index = HeapGainIndex()
+        pairs = []
+        for u in cand:
+            fd, rd = deltas(u)
+            pairs.append((u, -(fd - k * rd)))
+        index.bulk_load(pairs)
+
+        sequence: List[tuple] = []
+        cumulative = 0.0
+        best_cumulative = 0.0
+        best_length = 0
+        stall = 0
+        while True:
+            if config.stall_limit is not None and stall >= config.stall_limit:
+                break
+            popped = index.pop_max()
+            if popped is None:
+                break
+            u, gain = popped
+            fd, rd = deltas(u)
+            prev_side = sides[u]
+            sides[u] = 1 - prev_side
+            sequence.append((u, fd, rd))
+            cumulative += gain
+            tested += 1
+            if cumulative > best_cumulative + _EPS:
+                best_cumulative = cumulative
+                best_length = len(sequence)
+                stall = 0
+            else:
+                stall += 1
+            _adjust_gains(index, view, sides, u, prev_side, k)
+
+        for u, _fd, _rd in reversed(sequence[best_length:]):
+            sides[u] = 1 - sides[u]
+        applied += best_length
+        for _u, fd, rd in sequence[:best_length]:
+            delta_f += fd
+            delta_r += rd
+        if best_length == 0:
+            break
+
+    moved = sorted(u for u in cand if sides[u] != entry[u])
+    return moved, delta_f, delta_r, tested, applied
 
 
 # ----------------------------------------------------------------------
@@ -1029,6 +1373,11 @@ def extended_kl(
             raise ValueError(
                 "engine='legacy' needs the mutable AugmentedSocialGraph "
                 f"builder, got {type(graph).__name__}"
+            )
+        if config.frontier != "full":
+            raise ValueError(
+                "the legacy engine has no boundary frontier; use "
+                "engine='csr' or frontier='full'"
             )
         return _extended_kl_legacy(graph, k, initial, locked, config, stats)
     if config.engine != "csr":

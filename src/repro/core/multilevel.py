@@ -51,15 +51,20 @@ from __future__ import annotations
 import logging
 import random
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from .csr import CSRGraph, PartitionState, WeightedCSRGraph
 from .graph import AugmentedSocialGraph
-from .kernels import heavy_edge_matching, matching_to_mapping
-from .kl import KLConfig, extended_kl, extended_kl_state
+from .kernels import (
+    gain_deltas,
+    heavy_edge_matching,
+    matching_to_mapping,
+    weighted_gain_deltas,
+)
+from .kl import KLConfig, KLStats, extended_kl, extended_kl_state, refine_subset
 from .maar import check_seeds, geometric_k_sequence, sweep_k_states
-from .parallel import warn_jobs_ignored
+from .parallel import chunk_evenly, parallel_map, warn_jobs_ignored
 from .partition import Partition
 from .objectives import LEGITIMATE, SUSPICIOUS, acceptance_rate
 from .weighted import (
@@ -94,6 +99,50 @@ class MultilevelConfig:
     level. ``jobs``/``executor`` fan the coarse-level ``k`` sweep out
     through :mod:`repro.core.parallel` (csr engine only — the legacy
     engine warns and runs serially).
+
+    Refinement (csr engine):
+
+    ``frontier``
+        ``"boundary"`` (default) refines each uncoarsened level only
+        around the movable frontier: the nodes whose switch is
+        profitable right now plus their one-hop neighbours (see
+        :func:`_movable_frontier`). The frontier splits into connected
+        *regions* (components under all three edge layers, so no edge
+        crosses two regions), each region refines independently
+        through :func:`~repro.core.kl.refine_subset`, and rounds
+        repeat until a round moves nothing. ``"full"`` restores the
+        classic whole-graph refinement pass at every level. The value
+        is also threaded into the refinement
+        :class:`~repro.core.kl.KLConfig`, so any full-state engine run
+        the boundary path falls back to scopes its passes with
+        :func:`repro.core.kernels.boundary_nodes` too.
+    ``refine_jobs``
+        Worker count for the region fan-out (``frontier="boundary"``
+        only). Regions are mutually non-adjacent, so their moves and
+        counter deltas compose exactly whatever the execution order:
+        ``refine_jobs=N`` is bit-identical to ``refine_jobs=1``.
+    ``refine_tolerance``
+        Early-exit knob: when positive, a level's refinement is skipped
+        while the *previous* level's refinement improved the objective
+        by at most ``refine_tolerance · max(1, |objective|)`` (the
+        projected cut is already that converged; projections preserve
+        cut weights exactly, so nothing is lost in between). The finest
+        level always refines. ``0.0`` (default) disables early exit.
+    ``refine_stall``
+        Stall limit for the region passes
+        (:attr:`~repro.core.kl.KLConfig.stall_limit` scoped to
+        ``frontier="boundary"`` region refinement): a region pass stops
+        tentatively switching after this many consecutive non-improving
+        pops instead of exhausting the region. Uncoarsened cuts are
+        near-converged, so the best prefix sits close to the front of
+        the gain order and the exhaustive FM tail is almost always
+        rollback work. ``None`` restores full passes. Identical on
+        every ``refine_jobs``/backend, so determinism is unaffected;
+        an explicit ``stall_limit`` on the engine config is respected.
+    ``incremental``
+        Threaded into every refinement :class:`~repro.core.kl.KLConfig`
+        (and the coarse sweep), so ``MultilevelConfig(incremental=
+        False)`` ablations reach the refinement leg.
     """
 
     coarsest_nodes: int = 400
@@ -112,6 +161,11 @@ class MultilevelConfig:
     matching_rounds: int = 8
     jobs: int = 1
     executor: str = "auto"
+    frontier: str = "boundary"
+    incremental: bool = True
+    refine_tolerance: float = 0.0
+    refine_jobs: int = 1
+    refine_stall: Optional[int] = 256
 
 
 @dataclass
@@ -122,7 +176,13 @@ class MultilevelResult:
     ``"coarsen"`` (seconds per built level), ``"coarse_sweep"`` (the
     coarsest-level ``k`` sweep), ``"refine"`` (seconds per uncoarsening
     level, finest last — the last entry includes the Dinkelbach polish)
-    and ``"total_seconds"``.
+    and ``"total_seconds"``. ``"refine_detail"`` carries one dict per
+    uncoarsening level (same order as ``"refine"``) with the level
+    index, the refinement ``scope`` (``"boundary"``/``"dense"``/
+    ``"full"``/``"skipped"``), the first-round frontier size
+    (``boundary``), the peak region count, and the round/move/tested
+    tallies; ``"early_exits"`` counts the levels skipped by
+    ``refine_tolerance``.
     """
 
     suspicious: List[int]
@@ -224,6 +284,25 @@ def _is_valid(
     )
 
 
+def _sides_valid(
+    sides: Sequence[int], total_nodes: int, config: MultilevelConfig
+) -> bool:
+    """The final gate's size check, applied to a polish candidate.
+
+    Dinkelbach polish re-refines at the cut's own ratio, and a lower
+    ratio can "improve" the acceptance rate by inflating the suspicious
+    side far past ``max_suspicious_fraction`` — on dilute scenarios all
+    the way to a near-half-graph blob. The final validity gate would
+    then discard the whole result, so a candidate that fails the size
+    check must never replace a valid cut.
+    """
+    size = sum(1 for s in sides if s == SUSPICIOUS)
+    return (
+        config.min_suspicious <= size <= config.max_suspicious_fraction * total_nodes
+        and size < total_nodes
+    )
+
+
 def _project_coarse_labels(
     mapping: Sequence[int],
     num_coarse: int,
@@ -284,6 +363,245 @@ def solve_maar_multilevel(
 # ----------------------------------------------------------------------
 # CSR engine
 # ----------------------------------------------------------------------
+#: Frontier fraction beyond which the scoped region machinery would just
+#: re-derive the whole-graph pass with extra bookkeeping — fall back to
+#: one classic full refinement run instead. Only a saturated frontier
+#: (essentially every node movable, where a scoped pass *is* the full
+#: pass minus the engine's batch kernels) should trip this: even a
+#: 9/10-covering frontier wins, because a scoped round costs one
+#: stall-limited pass over the current frontier — which shrinks round
+#: by round as the cut converges — while a full engine run keeps
+#: sweeping every node for every one of its internal passes.
+_DENSE_FRONTIER = 0.98
+
+
+def _project_sides(sides, mapping, num_fine: int, backend: str) -> List[int]:
+    """Project coarse ``sides`` one level down: ``sides[mapping[u]]``.
+
+    On the numpy backend this is a single ``np.take`` gather instead of a
+    Python loop over every fine node; the python fallback is the
+    list comprehension it replaces (identical output).
+    """
+    if backend == "numpy":
+        import numpy as np
+
+        return np.take(
+            np.asarray(sides, dtype=np.int8), np.asarray(mapping)
+        ).tolist()
+    return [sides[mapping[u]] for u in range(num_fine)]
+
+
+def _cut_regions(graph, bnodes: Sequence[int]) -> List[List[int]]:
+    """Split a boundary frontier into connected *regions*.
+
+    Regions are the connected components of the frontier-induced
+    subgraph under all three edge layers (friendship + both rejection
+    directions). By construction no edge of any layer joins two distinct
+    regions — every neighbour of a region member is either in the same
+    region or outside the frontier and therefore frozen — so refining
+    the regions independently and composing their ``(moves, Δf, Δr)``
+    is exact whatever the execution order or worker count.
+
+    ``bnodes`` must be sorted ascending (the frontier kernels return it
+    so); components come out in order of their smallest member, each
+    sorted ascending, keeping the downstream fan-out deterministic.
+    """
+    member = bytearray(graph.num_nodes)
+    for u in bnodes:
+        member[u] = 1
+    layers = (
+        (graph.f_ptr, graph.f_idx),
+        (graph.ro_ptr, graph.ro_idx),
+        (graph.ri_ptr, graph.ri_idx),
+    )
+    seen = bytearray(graph.num_nodes)
+    regions: List[List[int]] = []
+    for seed in bnodes:
+        if seen[seed]:
+            continue
+        seen[seed] = 1
+        stack = [seed]
+        comp: List[int] = []
+        while stack:
+            u = stack.pop()
+            comp.append(u)
+            for ptr, idx in layers:
+                for j in range(ptr[u], ptr[u + 1]):
+                    v = idx[j]
+                    if member[v] and not seen[v]:
+                        seen[v] = 1
+                        stack.append(v)
+        comp.sort()
+        regions.append(comp)
+    return regions
+
+
+def _movable_frontier(graph, view, sides: List[int], k: float) -> List[int]:
+    """The *movable* frontier: positive-gain seeds plus one-hop look-ahead.
+
+    On friend-spam graphs the classic cut-incidence frontier (what
+    :func:`repro.core.kernels.boundary_nodes` seeds the engine-level
+    scoped passes with) blankets the graph — a converged cut crosses an
+    accepted attack edge at most legitimate users — so region
+    refinement scopes tighter: only nodes whose switch is profitable
+    right now (``k·rd > fd``, exact in both backends) seed the
+    frontier, plus their *friendship* neighbours — the partners KL's
+    compound moves pair a seed with. Rejection-layer neighbours stay
+    out: a fake's rejectors are most of the legitimate population (that
+    blanket again), and any of them a seed's switch actually turns
+    profitable is picked up when the next round recomputes the
+    frontier, so multi-hop and cross-layer cascades are chased round by
+    round instead of being carried dead weight from round one.
+    """
+    if graph.weighted:
+        fd, rd = weighted_gain_deltas(view, sides)
+    else:
+        fd, rd = gain_deltas(view, sides)
+    fp, fi = graph.f_ptr, graph.f_idx
+    marked = set()
+    for u in range(graph.num_nodes):
+        if k * rd[u] > fd[u]:
+            marked.add(u)
+            for i in range(fp[u], fp[u + 1]):
+                marked.add(fi[i])
+    return sorted(marked)
+
+
+def _refine_chunk_worker(chunk, shared):
+    """Refine one chunk of regions against a private copy of the sides.
+
+    The worker never writes the shared side vector (serial and thread
+    backends hand it over by reference): each chunk refines a local
+    copy and reports per-region ``(moved, Δf, Δr, tested, applied)``
+    for the parent to merge in input order. Regions are pairwise
+    non-adjacent, so applying earlier regions' moves to the local copy
+    cannot influence later regions in the same chunk.
+    """
+    view, sides, locked, k, kl_config = shared
+    local = list(sides)
+    return [
+        refine_subset(view, local, locked, region, k, kl_config)
+        for region in chunk
+    ]
+
+
+def _skip_entry(level: int) -> Dict[str, object]:
+    """The ``refine_detail`` record for a level skipped by early exit."""
+    return {
+        "level": level,
+        "scope": "skipped",
+        "boundary": 0,
+        "regions": 0,
+        "rounds": 0,
+        "moves": 0,
+        "tested": 0,
+        "skipped": True,
+    }
+
+
+def _early_exit(
+    config: MultilevelConfig, prev_improve, objective: float
+) -> bool:
+    """Whether to skip this level's refinement.
+
+    True while the most recent level that actually refined improved the
+    objective by at most ``refine_tolerance · max(1, |objective|)`` —
+    the projected cut is already that converged (projection preserves
+    the cut weights exactly), so intermediate levels are skipped until
+    the always-refined finest level. ``prev_improve is None`` (nothing
+    refined yet) and ``refine_tolerance <= 0`` never skip.
+    """
+    if config.refine_tolerance <= 0 or prev_improve is None:
+        return False
+    return prev_improve <= config.refine_tolerance * max(1.0, abs(objective))
+
+
+def _refine_level_boundary(
+    graph,
+    sides: List[int],
+    locked: Sequence[bool],
+    k: float,
+    config: MultilevelConfig,
+    kl_config: KLConfig,
+    f_cross,
+    r_cross,
+):
+    """Boundary-only refinement of one level, in place.
+
+    Rounds of: movable frontier → connected regions → region fan-out
+    through :func:`repro.core.parallel.parallel_map` → ordered merge of
+    the per-region moves and exact counter deltas. A round that moves
+    nothing (or an empty frontier) ends the level; a frontier covering
+    more than ``_DENSE_FRONTIER`` of the graph falls back to one
+    classic full-state refinement run. Mutates ``sides`` and returns
+    ``(f_cross, r_cross, detail)`` with the updated exact counters.
+    """
+    view = graph.view()
+    # One stall-limited pass per region call: a pass rebuilds gains for
+    # the whole region, so iteration belongs to the rounds loop below,
+    # which re-derives a *shrinking* frontier instead of re-sweeping the
+    # round-one region again and again.
+    region_config = replace(kl_config, max_passes=1)
+    if region_config.stall_limit is None and config.refine_stall is not None:
+        region_config = replace(region_config, stall_limit=config.refine_stall)
+    detail: Dict[str, object] = {
+        "scope": "boundary",
+        "boundary": 0,
+        "regions": 0,
+        "rounds": 0,
+        "moves": 0,
+        "tested": 0,
+        "skipped": False,
+    }
+    for round_idx in range(max(1, config.refine_passes)):
+        bnodes = [
+            u for u in _movable_frontier(graph, view, sides, k) if not locked[u]
+        ]
+        if round_idx == 0:
+            detail["boundary"] = len(bnodes)
+        if not bnodes:
+            break
+        if len(bnodes) > _DENSE_FRONTIER * graph.num_nodes:
+            state = extended_kl_state(
+                PartitionState.from_counts(view, sides, locked, f_cross, r_cross),
+                k,
+                kl_config,
+            )
+            detail["scope"] = "dense"
+            detail["rounds"] = round_idx + 1
+            detail["moves"] = detail["moves"] + sum(
+                1
+                for u in range(graph.num_nodes)
+                if state.sides[u] != sides[u]
+            )
+            sides[:] = state.sides
+            return state.f_cross, state.r_cross, detail
+        regions = _cut_regions(graph, bnodes)
+        detail["regions"] = max(detail["regions"], len(regions))
+        chunks = chunk_evenly(regions, max(1, config.refine_jobs))
+        results = parallel_map(
+            _refine_chunk_worker,
+            chunks,
+            shared=(view, sides, locked, k, region_config),
+            jobs=config.refine_jobs,
+            executor=config.executor,
+        )
+        detail["rounds"] = round_idx + 1
+        round_moves = 0
+        for chunk_result in results:
+            for moved, delta_f, delta_r, tested, _applied in chunk_result:
+                for u in moved:
+                    sides[u] = 1 - sides[u]
+                f_cross += delta_f
+                r_cross += delta_r
+                detail["tested"] = detail["tested"] + tested
+                round_moves += len(moved)
+        detail["moves"] = detail["moves"] + round_moves
+        if round_moves == 0:
+            break
+    return f_cross, r_cross, detail
+
+
 def _solve_multilevel_csr(
     graph,
     config: MultilevelConfig,
@@ -291,6 +609,11 @@ def _solve_multilevel_csr(
     spammer_seeds: Sequence[int],
 ) -> MultilevelResult:
     t_start = time.perf_counter()
+    if config.frontier not in ("full", "boundary"):
+        raise ValueError(
+            f"unknown frontier {config.frontier!r}; expected 'full' or "
+            "'boundary'"
+        )
     rng = random.Random(config.seed)
     if isinstance(graph, AugmentedSocialGraph):
         csr0 = graph.csr(config.backend)
@@ -358,11 +681,18 @@ def _solve_multilevel_csr(
     level_sizes = [g.num_nodes for g in levels]
     logger.debug("multilevel: %d levels, sizes %s", len(levels), level_sizes)
 
-    def timings(sweep: float = 0.0, refine: Optional[List[float]] = None):
+    def timings(
+        sweep: float = 0.0,
+        refine: Optional[List[float]] = None,
+        refine_detail: Optional[List[Dict[str, object]]] = None,
+        early_exits: int = 0,
+    ):
         return {
             "coarsen": coarsen_times,
             "coarse_sweep": sweep,
             "refine": refine or [],
+            "refine_detail": refine_detail or [],
+            "early_exits": early_exits,
             "total_seconds": time.perf_counter() - t_start,
         }
 
@@ -374,13 +704,14 @@ def _solve_multilevel_csr(
     states = sweep_k_states(
         init,
         k_values,
-        KLConfig(max_passes=config.max_passes),
+        KLConfig(max_passes=config.max_passes, incremental=config.incremental),
         jobs=config.jobs,
         executor=config.executor,
     )
     best_sides: Optional[List[int]] = None
     best_key = (float("inf"), 0.0)
     best_k: Optional[float] = None
+    best_f = best_r = 0
     for k, state in zip(k_values, states):
         if isinstance(coarsest, WeightedCSRGraph):
             size = coarsest.weighted_suspicious_size(state.sides)
@@ -401,6 +732,8 @@ def _solve_multilevel_csr(
             best_key = key
             best_sides = list(state.sides)
             best_k = k
+            best_f = state.f_cross
+            best_r = state.r_cross
     sweep_time = time.perf_counter() - t_sweep
     if best_sides is None or best_k is None:
         return MultilevelResult(
@@ -408,38 +741,137 @@ def _solve_multilevel_csr(
         )
 
     # --- Uncoarsening + refinement -----------------------------------------
-    refine_config = KLConfig(max_passes=config.refine_passes)
+    # Projection preserves the cut weights exactly, so the chosen coarse
+    # state's counters stay valid through every level and only the
+    # refinement deltas move them — which is what lets the boundary path
+    # build states through PartitionState.from_counts with no recount.
+    refine_config = KLConfig(
+        max_passes=config.refine_passes,
+        incremental=config.incremental,
+        frontier=config.frontier,
+    )
+    boundary = config.frontier == "boundary"
     refine_times: List[float] = []
+    refine_detail: List[Dict[str, object]] = []
+    early_exits = 0
+    prev_improve: Optional[float] = None
+    f_cross, r_cross = best_f, best_r
     sides = best_sides
+
+    def full_refine(state_graph, level_sides, level_locked, level):
+        stats = KLStats()
+        state = extended_kl_state(
+            PartitionState(state_graph.view(), level_sides, level_locked),
+            best_k,
+            refine_config,
+            stats,
+        )
+        moves = sum(
+            1
+            for u in range(state_graph.num_nodes)
+            if state.sides[u] != level_sides[u]
+        )
+        detail = {
+            "level": level,
+            "scope": "full",
+            "boundary": state_graph.num_nodes,
+            "regions": 1,
+            "rounds": stats.passes,
+            "moves": moves,
+            "tested": stats.switches_tested,
+            "skipped": False,
+        }
+        return state, detail
+
     for level in range(len(levels) - 2, 0, -1):
         t_level = time.perf_counter()
-        mapping = mappings[level]
-        projected = [sides[mapping[u]] for u in range(levels[level].num_nodes)]
-        state = PartitionState(
-            levels[level].view(), projected, locked_levels[level]
+        current = levels[level]
+        sides = _project_sides(
+            sides, mappings[level], current.num_nodes, current.backend
         )
-        sides = extended_kl_state(state, best_k, refine_config).sides
+        objective = f_cross - best_k * r_cross
+        if _early_exit(config, prev_improve, objective):
+            early_exits += 1
+            refine_detail.append(_skip_entry(level))
+            refine_times.append(time.perf_counter() - t_level)
+            continue
+        if boundary:
+            f_cross, r_cross, detail = _refine_level_boundary(
+                current,
+                sides,
+                locked_levels[level],
+                best_k,
+                config,
+                refine_config,
+                f_cross,
+                r_cross,
+            )
+            detail["level"] = level
+        else:
+            state, detail = full_refine(
+                current, sides, locked_levels[level], level
+            )
+            sides = state.sides
+            f_cross, r_cross = state.f_cross, state.r_cross
+        prev_improve = objective - (f_cross - best_k * r_cross)
+        refine_detail.append(detail)
         refine_times.append(time.perf_counter() - t_level)
     t_level = time.perf_counter()
     if mappings:
-        mapping = mappings[0]
-        sides = [sides[mapping[u]] for u in range(total_nodes)]
-    fine = extended_kl_state(
-        PartitionState(csr0.view(), sides, locked), best_k, refine_config
-    )
+        sides = _project_sides(sides, mappings[0], total_nodes, csr0.backend)
     # Dinkelbach polish: re-refine at the cut's own ratio (Theorem 1's
     # fixpoint), which corrects the coarse level's k estimate.
-    for _ in range(2):
-        if fine.r_cross <= 0:
-            break
-        ratio = fine.f_cross / fine.r_cross
-        if not ratio > 0:
-            break
-        candidate = extended_kl_state(fine, ratio, refine_config)
-        if candidate.acceptance_rate() >= fine.acceptance_rate():
-            break
-        fine = candidate
-        best_k = ratio
+    if boundary:
+        f_cross, r_cross, detail = _refine_level_boundary(
+            csr0, sides, locked, best_k, config, refine_config, f_cross, r_cross
+        )
+        detail["level"] = 0
+        refine_detail.append(detail)
+        for _ in range(2):
+            if r_cross <= 0:
+                break
+            ratio = f_cross / r_cross
+            if not ratio > 0:
+                break
+            cand_sides = list(sides)
+            cand_f, cand_r, _polish = _refine_level_boundary(
+                csr0,
+                cand_sides,
+                locked,
+                ratio,
+                config,
+                refine_config,
+                f_cross,
+                r_cross,
+            )
+            if (
+                cand_r <= 0
+                or acceptance_rate(cand_f, cand_r)
+                >= acceptance_rate(f_cross, r_cross)
+                or not _sides_valid(cand_sides, total_nodes, config)
+            ):
+                break
+            sides, f_cross, r_cross = cand_sides, cand_f, cand_r
+            best_k = ratio
+        fine = PartitionState.from_counts(
+            csr0.view(), sides, locked, f_cross, r_cross
+        )
+    else:
+        fine, detail = full_refine(csr0, sides, locked, 0)
+        refine_detail.append(detail)
+        for _ in range(2):
+            if fine.r_cross <= 0:
+                break
+            ratio = fine.f_cross / fine.r_cross
+            if not ratio > 0:
+                break
+            candidate = extended_kl_state(fine, ratio, refine_config)
+            if candidate.acceptance_rate() >= fine.acceptance_rate() or not (
+                _sides_valid(candidate.sides, total_nodes, config)
+            ):
+                break
+            fine = candidate
+            best_k = ratio
     refine_times.append(time.perf_counter() - t_level)
 
     suspicious = [u for u, s in enumerate(fine.sides) if s == SUSPICIOUS]
@@ -457,14 +889,16 @@ def _solve_multilevel_csr(
             1.0,
             None,
             level_sizes=level_sizes,
-            timings=timings(sweep_time, refine_times),
+            timings=timings(
+                sweep_time, refine_times, refine_detail, early_exits
+            ),
         )
     return MultilevelResult(
         suspicious=suspicious,
         acceptance_rate=acceptance_rate(fine.f_cross, fine.r_cross),
         k=best_k,
         level_sizes=level_sizes,
-        timings=timings(sweep_time, refine_times),
+        timings=timings(sweep_time, refine_times, refine_detail, early_exits),
     )
 
 
@@ -594,7 +1028,9 @@ def _solve_multilevel_legacy(
             locked=locked_levels[0],
             config=KLConfig(max_passes=config.refine_passes),
         )
-        if candidate.acceptance_rate() >= fine_partition.acceptance_rate():
+        if candidate.acceptance_rate() >= fine_partition.acceptance_rate() or not (
+            _sides_valid(candidate.sides, total_nodes, config)
+        ):
             break
         fine_partition = candidate
         best_k = ratio

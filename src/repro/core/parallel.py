@@ -51,6 +51,7 @@ from typing import Any, Callable, Dict, Iterable, List, Optional
 __all__ = [
     "BACKENDS",
     "available_backends",
+    "chunk_evenly",
     "default_jobs",
     "fork_available",
     "parallel_map",
@@ -88,6 +89,31 @@ def warn_jobs_ignored(logger, owner: str, jobs: int, reason: str) -> None:
     pin it once.
     """
     logger.warning("%s(jobs=%d) ignored: %s", owner, jobs, reason)
+
+
+def chunk_evenly(items: Iterable[Any], jobs: int) -> List[List[Any]]:
+    """Split ``items`` into at most ``jobs`` contiguous, near-equal chunks.
+
+    Deterministic: chunk sizes differ by at most one (longer chunks
+    first) and concatenating the chunks reproduces the input order
+    exactly, so fanning chunks out through :func:`parallel_map` and
+    merging the ordered results is independent of the worker count.
+    Returns no empty chunks (an empty input yields an empty list).
+    """
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    tasks = list(items)
+    count = min(jobs, len(tasks))
+    if count <= 1:
+        return [tasks] if tasks else []
+    base, extra = divmod(len(tasks), count)
+    chunks: List[List[Any]] = []
+    start = 0
+    for i in range(count):
+        size = base + (1 if i < extra else 0)
+        chunks.append(tasks[start : start + size])
+        start += size
+    return chunks
 
 
 def resolve_executor(executor: str, jobs: int) -> str:
